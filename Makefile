@@ -1,0 +1,38 @@
+# Convenience targets for the sdpm reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short vet bench experiments examples cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+experiments:
+	$(GO) run ./cmd/dpmexp -run all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/figure2
+	$(GO) run ./examples/stencil
+	$(GO) run ./examples/customdsl
+	$(GO) run ./examples/sweep
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

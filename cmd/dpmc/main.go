@@ -1,0 +1,103 @@
+// Command dpmc is the compiler front end: it parses a DSL program
+// (or loads a built-in benchmark), optionally applies one of the
+// Section 6 code/layout transformations, and either prints the disk
+// access pattern, prints the transformed program, or emits the
+// power-management-instrumented trace.
+//
+// Usage:
+//
+//	dpmc -bench swim -dap                      # print the DAP
+//	dpmc -dsl prog.sdpm -mode drpm -o out.trace # instrument
+//	dpmc -bench mesa -version TL+DL -print      # show transformed code
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sdpm"
+	"sdpm/internal/cli"
+)
+
+func main() {
+	bench := flag.String("bench", "", "built-in benchmark name")
+	dslFile := flag.String("dsl", "", "DSL program file")
+	version := flag.String("version", "orig", "code version: orig, LF, TL, LF+DL, TL+DL")
+	mode := flag.String("mode", "drpm", "instrumentation mode: tpm or drpm")
+	dap := flag.Bool("dap", false, "print the disk access pattern and exit")
+	show := flag.Bool("print", false, "print the (transformed) program in DSL form and exit")
+	annotate := flag.Bool("calls", false, "print the program with the inserted power calls as comments and exit")
+	out := flag.String("o", "", "write the instrumented trace to this file (default stdout)")
+	disks := flag.Int("disks", 8, "number of disks")
+	unit := flag.Int64("unit", 64<<10, "stripe unit bytes")
+	layoutSpecs := flag.String("layout", "", "per-array layouts: array=start:factor:unitKB,...")
+	flag.Parse()
+
+	w, err := cli.LoadWorkload(*bench, *dslFile)
+	if err != nil {
+		fail(err)
+	}
+	cfg := sdpm.DefaultConfig()
+	cfg.NumDisks = *disks
+	cfg.StripeUnitBytes = *unit
+	if err := cli.ApplyLayoutSpecs(w, *layoutSpecs); err != nil {
+		fail(err)
+	}
+
+	if *version != string(sdpm.Orig) {
+		tw, applied, err := w.Transform(sdpm.Version(*version), cfg)
+		if err != nil {
+			fail(err)
+		}
+		if !applied {
+			fmt.Fprintf(os.Stderr, "dpmc: %s: transformation %s not applicable; program unchanged\n", w.Name(), *version)
+		}
+		w = tw
+	}
+
+	switch {
+	case *annotate:
+		scheme := sdpm.CMDRPM
+		if *mode == "tpm" {
+			scheme = sdpm.CMTPM
+		}
+		out, err := w.AnnotatedDSL(scheme, cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(out)
+	case *show:
+		fmt.Print(w.DSL())
+	case *dap:
+		d, err := w.DAP(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(d)
+	default:
+		scheme := sdpm.CMDRPM
+		if *mode == "tpm" {
+			scheme = sdpm.CMTPM
+		} else if *mode != "drpm" {
+			fail(fmt.Errorf("unknown mode %q", *mode))
+		}
+		dst := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			dst = f
+		}
+		if err := w.WriteTrace(dst, scheme, cfg); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dpmc:", err)
+	os.Exit(1)
+}

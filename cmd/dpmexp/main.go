@@ -1,0 +1,34 @@
+// Command dpmexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dpmexp -run all
+//	dpmexp -run fig3
+//	dpmexp -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sdpm"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id (or 'all')")
+	format := flag.String("format", "text", "output format: text or csv")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range sdpm.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if err := sdpm.RunExperimentFormat(*run, os.Stdout, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "dpmexp:", err)
+		os.Exit(1)
+	}
+}

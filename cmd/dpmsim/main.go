@@ -1,0 +1,133 @@
+// Command dpmsim runs the disk power simulator on a textual I/O
+// trace under a chosen power management policy and reports energy,
+// execution time, and per-disk statistics.
+//
+// Usage:
+//
+//	dpmtrace -bench swim > swim.trace
+//	dpmsim -trace swim.trace -policy drpm
+//	dpmsim -trace swim.trace -policy embedded   # honor trace power ops
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sdpm/internal/disk"
+	"sdpm/internal/policy"
+	"sdpm/internal/sim"
+	"sdpm/internal/trace"
+)
+
+func main() {
+	traceFile := flag.String("trace", "", "trace file (textual format; - for stdin)")
+	pol := flag.String("policy", "base", "policy: base, tpm, itpm, drpm, idrpm, or embedded (execute the trace's power ops)")
+	perDisk := flag.Bool("perdisk", false, "print per-disk statistics")
+	openLoop := flag.Bool("openloop", false, "open-loop replay (arrival-driven, per-disk FIFO) instead of closed-loop execution")
+	distSeek := flag.Bool("distseek", false, "distance-dependent seek times instead of the datasheet average")
+	timeline := flag.Int("timeline", 0, "print up to N timeline segments per disk")
+	flag.Parse()
+
+	if *traceFile == "" {
+		fail(fmt.Errorf("-trace is required"))
+	}
+	var src *os.File
+	if *traceFile == "-" {
+		src = os.Stdin
+	} else {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	tr, err := trace.Decode(src)
+	if err != nil {
+		fail(err)
+	}
+
+	p := disk.DefaultParams()
+	cfg := sim.Config{
+		Disk:                p,
+		PowerCallOverheadMS: sim.DefaultPowerCallOverheadMS,
+		DistanceAwareSeek:   *distSeek,
+		RecordTimeline:      *timeline > 0,
+	}
+	switch strings.ToLower(*pol) {
+	case "base":
+		cfg.Policy = policy.NewBase()
+		cfg.IgnorePowerOps = true
+	case "tpm":
+		cfg.Policy = policy.NewTPM(p, 0)
+		cfg.IgnorePowerOps = true
+	case "itpm":
+		cfg.Policy = policy.NewITPM(p)
+		cfg.IgnorePowerOps = true
+	case "drpm":
+		cfg.Policy = policy.NewDRPM(p, tr.NumDisks)
+		cfg.IgnorePowerOps = true
+	case "idrpm":
+		cfg.Policy = policy.NewIDRPM(p)
+		cfg.IgnorePowerOps = true
+	case "embedded":
+		// No policy: the trace's explicit power ops drive the disks.
+	default:
+		fail(fmt.Errorf("unknown policy %q", *pol))
+	}
+
+	var res *sim.Result
+	if *openLoop {
+		if cfg.Policy == nil {
+			fail(fmt.Errorf("open-loop replay cannot execute embedded power ops; pick a policy"))
+		}
+		res, err = sim.RunOpenLoop(tr, cfg)
+	} else {
+		res, err = sim.Run(tr, cfg)
+	}
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("program      %s\n", tr.Program)
+	fmt.Printf("policy       %s\n", *pol)
+	fmt.Printf("disks        %d\n", tr.NumDisks)
+	fmt.Printf("requests     %d\n", res.Requests)
+	fmt.Printf("power ops    %d\n", res.PowerOps)
+	fmt.Printf("energy       %.2f J\n", res.EnergyJ)
+	fmt.Printf("exec time    %.2f ms\n", res.ExecMS)
+	fmt.Printf("wait time    %.2f ms\n", res.TotalWaitMS)
+	fmt.Printf("avg power    %.2f W\n", res.EnergyJ/res.ExecMS*1e3)
+	if *timeline > 0 {
+		for d, segs := range res.Timelines {
+			fmt.Printf("disk%d timeline (%d segments):\n", d, len(segs))
+			for i, sg := range segs {
+				if i >= *timeline {
+					fmt.Printf("  ... %d more\n", len(segs)-i)
+					break
+				}
+				mode := sg.Stat.String()
+				if sg.Active {
+					mode = "service"
+				}
+				fmt.Printf("  %10.2f..%10.2f ms  %-8s %5d RPM  %6.2f W\n",
+					sg.StartMS, sg.EndMS, mode, sg.RPM, sg.PowerW)
+			}
+		}
+	}
+	if *perDisk {
+		fmt.Printf("%-5s %10s %10s %10s %10s %10s %6s %5s %5s %6s\n",
+			"disk", "energy(J)", "active(ms)", "idle(ms)", "stby(ms)", "trans(ms)", "reqs", "down", "up", "shift")
+		for d, st := range res.Disks {
+			fmt.Printf("%-5d %10.2f %10.1f %10.1f %10.1f %10.1f %6d %5d %5d %6d\n",
+				d, st.EnergyJ, st.ActiveMS, st.IdleMS, st.StandbyMS, st.TransitionMS,
+				st.Requests, st.SpinDowns, st.SpinUps, st.RPMShifts)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dpmsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+// Command dpmtrace generates disk I/O traces from the built-in
+// benchmarks or from a DSL program, in the textual trace format the
+// simulator consumes.
+//
+// Usage:
+//
+//	dpmtrace -bench swim > swim.trace
+//	dpmtrace -dsl prog.sdpm -scheme CMDRPM -o prog.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sdpm"
+	"sdpm/internal/cli"
+)
+
+func main() {
+	bench := flag.String("bench", "", "built-in benchmark name")
+	dslFile := flag.String("dsl", "", "DSL program file")
+	scheme := flag.String("scheme", "Base", "scheme: Base emits the plain trace; CMTPM/CMDRPM emit instrumented traces")
+	disks := flag.Int("disks", 8, "number of disks")
+	unit := flag.Int64("unit", 64<<10, "stripe unit bytes")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	w, err := cli.LoadWorkload(*bench, *dslFile)
+	if err != nil {
+		fail(err)
+	}
+	cfg := sdpm.DefaultConfig()
+	cfg.NumDisks = *disks
+	cfg.StripeUnitBytes = *unit
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := w.WriteTrace(dst, sdpm.Scheme(*scheme), cfg); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dpmtrace:", err)
+	os.Exit(1)
+}

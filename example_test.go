@@ -1,0 +1,81 @@
+package sdpm_test
+
+import (
+	"fmt"
+	"log"
+
+	"sdpm"
+)
+
+// Running a built-in benchmark under the base scheme and the
+// compiler-directed scheme. All runs are deterministic (seeded
+// jitter), so the numbers below reproduce exactly.
+func ExampleBenchmark() {
+	w, err := sdpm.Benchmark("galgel")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := sdpm.DefaultConfig()
+	base, _ := w.Run(sdpm.Base, cfg)
+	cm, _ := w.Run(sdpm.CMDRPM, cfg)
+	fmt.Printf("requests: %d\n", base.Requests)
+	fmt.Printf("base:     %.0f J\n", base.EnergyJ)
+	fmt.Printf("CMDRPM:   %.0f J (%.0f%% saved)\n",
+		cm.EnergyJ, (1-cm.EnergyJ/base.EnergyJ)*100)
+	// Output:
+	// requests: 2048
+	// base:     1765 J
+	// CMDRPM:   982 J (44% saved)
+}
+
+// Authoring a program in the DSL and counting its disk requests.
+func ExampleParseProgram() {
+	w, err := sdpm.ParseProgram(`
+program tiny
+array a[256][1024]                # 2MB row-major matrix
+nest sweep {
+  for i = 0..256
+  for j = 0..1024
+  do cost 2500 { read a[i][j] }
+}
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, _ := w.Requests(sdpm.DefaultConfig())
+	fmt.Printf("%s makes %d requests (2MB / 64KB units)\n", w.Name(), n)
+	// Output:
+	// tiny makes 32 requests (2MB / 64KB units)
+}
+
+// Applying a layout-aware transformation: mesa's texture-sampling
+// pass walks a row-major image column-wise; TL+DL re-tiles it and
+// blocks the layout, collapsing the request count.
+func ExampleWorkload_Transform() {
+	w, _ := sdpm.Benchmark("mesa")
+	cfg := sdpm.DefaultConfig()
+	before, _ := w.Requests(cfg)
+	tw, applied, err := w.Transform(sdpm.TLDL, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, _ := tw.Requests(cfg)
+	fmt.Printf("applied: %v\n", applied)
+	fmt.Printf("requests: %d -> %d\n", before, after)
+	// Output:
+	// applied: true
+	// requests: 2944 -> 1665
+}
+
+// The compiler's strategy selection: instrument for both mechanisms,
+// estimate, and pick the cheaper scheme.
+func ExampleWorkload_SelectScheme() {
+	w, _ := sdpm.Benchmark("swim")
+	scheme, _, err := w.SelectScheme(sdpm.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("selected:", scheme)
+	// Output:
+	// selected: CMDRPM
+}

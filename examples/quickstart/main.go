@@ -1,0 +1,41 @@
+// Quickstart: load a benchmark, run it under every power management
+// scheme, and print the paper's headline comparison — reactive DRPM
+// saves energy but slows the program; the compiler-directed scheme
+// saves nearly as much as the oracle with no slowdown.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdpm"
+)
+
+func main() {
+	w, err := sdpm.Benchmark("swim")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := sdpm.DefaultConfig()
+
+	results, err := w.RunAll(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := results[0]
+	fmt.Printf("%s: %d requests, base energy %.0f J, base time %.0f ms\n\n",
+		w.Name(), base.Requests, base.EnergyJ, base.ExecMS)
+	fmt.Printf("%-8s %12s %10s %12s %10s\n", "scheme", "energy (J)", "vs base", "time (ms)", "vs base")
+	for _, r := range results {
+		fmt.Printf("%-8s %12.0f %9.1f%% %12.0f %9.1f%%\n",
+			r.Scheme, r.EnergyJ, (r.EnergyJ/base.EnergyJ-1)*100,
+			r.ExecMS, (r.ExecMS/base.ExecMS-1)*100)
+	}
+
+	st, err := w.Mispredictions(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nCMDRPM mispredicted the optimal disk speed for %.1f%% of %d idle periods\n",
+		st.Pct, st.Total)
+}

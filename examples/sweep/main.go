@@ -1,0 +1,76 @@
+// Sweep: the paper's sensitivity analysis (Figures 5-8). Runs swim
+// across stripe sizes and stripe factors and shows that the
+// compiler-directed scheme keeps tracking the oracle while the
+// reactive scheme's performance penalty grows with the stripe size,
+// and that savings grow with the number of disks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdpm"
+)
+
+func main() {
+	w, err := sdpm.Benchmark("swim")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("stripe-size sweep (8 disks):")
+	fmt.Printf("%-8s %10s %10s %10s %12s %12s\n",
+		"unit", "DRPM E", "IDRPM E", "CMDRPM E", "DRPM time", "CMDRPM time")
+	for _, unit := range []int64{16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10} {
+		cfg := sdpm.DefaultConfig()
+		cfg.StripeUnitBytes = unit
+		row, err := normalizedRow(w, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %10.3f %10.3f %10.3f %12.3f %12.3f\n",
+			fmt.Sprintf("%dKB", unit/1024), row[0], row[1], row[2], row[3], row[4])
+	}
+
+	fmt.Println("\nstripe-factor sweep (64KB units):")
+	fmt.Printf("%-8s %10s %10s %10s %12s %12s\n",
+		"disks", "DRPM E", "IDRPM E", "CMDRPM E", "DRPM time", "CMDRPM time")
+	for _, disks := range []int{2, 4, 8, 12, 16} {
+		cfg := sdpm.DefaultConfig()
+		cfg.NumDisks = disks
+		row, err := normalizedRow(w, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %10.3f %10.3f %10.3f %12.3f %12.3f\n",
+			disks, row[0], row[1], row[2], row[3], row[4])
+	}
+}
+
+// normalizedRow returns DRPM/IDRPM/CMDRPM energy and DRPM/CMDRPM time,
+// normalized to the base scheme under the same configuration.
+func normalizedRow(w *sdpm.Workload, cfg sdpm.Config) ([5]float64, error) {
+	var out [5]float64
+	base, err := w.Run(sdpm.Base, cfg)
+	if err != nil {
+		return out, err
+	}
+	dr, err := w.Run(sdpm.DRPM, cfg)
+	if err != nil {
+		return out, err
+	}
+	id, err := w.Run(sdpm.IDRPM, cfg)
+	if err != nil {
+		return out, err
+	}
+	cm, err := w.Run(sdpm.CMDRPM, cfg)
+	if err != nil {
+		return out, err
+	}
+	out[0] = dr.EnergyJ / base.EnergyJ
+	out[1] = id.EnergyJ / base.EnergyJ
+	out[2] = cm.EnergyJ / base.EnergyJ
+	out[3] = dr.ExecMS / base.ExecMS
+	out[4] = cm.ExecMS / base.ExecMS
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package sdpm
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"sdpm/internal/experiments"
+	"sdpm/internal/stats"
+)
+
+// ExperimentIDs returns the identifiers accepted by RunExperiment, in
+// the paper's order.
+func ExperimentIDs() []string {
+	return []string{
+		"table1", "table2", "fig3", "fig4", "table3",
+		"fig5", "fig6", "fig7", "fig8", "fig13",
+		"applicability", "ext-interchange", "ext-multiprogram",
+		"ablation-preactivation", "ablation-noise", "ablation-cache", "ablation-clustering",
+		"ablation-openloop", "ablation-seek", "breakdown",
+	}
+}
+
+// RunExperiment regenerates one of the paper's tables or figures (or
+// one of the ablation studies) and renders it to out as plain text.
+// The id "all" runs every experiment in order.
+func RunExperiment(id string, out io.Writer) error {
+	return RunExperimentFormat(id, out, "text")
+}
+
+// RunExperimentFormat is RunExperiment with an output format: "text"
+// (aligned tables) or "csv".
+func RunExperimentFormat(id string, out io.Writer, format string) error {
+	if format != "text" && format != "csv" {
+		return fmt.Errorf("sdpm: unknown format %q (text or csv)", format)
+	}
+	s := experiments.NewSuite()
+	if id == "all" {
+		for _, e := range ExperimentIDs() {
+			if err := RunExperimentFormat(e, out, format); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+		return nil
+	}
+	text, table, err := buildArtifact(s, id)
+	if err != nil {
+		return err
+	}
+	if table != nil {
+		if format == "csv" {
+			return table.RenderCSV(out)
+		}
+		table.Render(out)
+		return nil
+	}
+	_, err = io.WriteString(out, text)
+	return err
+}
+
+// buildArtifact produces one experiment's output: either preformatted
+// text (Table 1) or a numeric table.
+func buildArtifact(s *experiments.Suite, id string) (string, *stats.Table, error) {
+	one := func(t *stats.Table, err error) (string, *stats.Table, error) { return "", t, err }
+	pair := func(a, b *stats.Table, err error, first bool) (string, *stats.Table, error) {
+		if err != nil {
+			return "", nil, err
+		}
+		if first {
+			return "", a, nil
+		}
+		return "", b, nil
+	}
+	switch id {
+	case "table1":
+		return s.Table1(), nil, nil
+	case "table2":
+		return one(s.Table2())
+	case "fig3":
+		return one(s.Figure3())
+	case "fig4":
+		return one(s.Figure4())
+	case "table3":
+		return one(s.Table3())
+	case "fig5":
+		a, b, err := s.Figures56(nil)
+		return pair(a, b, err, true)
+	case "fig6":
+		a, b, err := s.Figures56(nil)
+		return pair(a, b, err, false)
+	case "fig7":
+		a, b, err := s.Figures78(nil)
+		return pair(a, b, err, true)
+	case "fig8":
+		a, b, err := s.Figures78(nil)
+		return pair(a, b, err, false)
+	case "fig13":
+		return one(s.Figure13())
+	case "applicability":
+		return one(s.VersionApplicability())
+	case "ext-interchange":
+		return one(s.ExtensionInterchange())
+	case "ext-multiprogram":
+		return one(s.ExtensionMultiprogram())
+	case "ablation-preactivation":
+		return one(s.AblationPreactivation())
+	case "ablation-noise":
+		return one(s.AblationNoise("mesa", nil))
+	case "ablation-cache":
+		return one(s.AblationCache())
+	case "ablation-clustering":
+		return one(s.AblationClustering())
+	case "ablation-openloop":
+		return one(s.AblationOpenLoop())
+	case "ablation-seek":
+		return one(s.AblationSeekModel())
+	case "breakdown":
+		return one(s.EnergyBreakdown())
+	default:
+		ids := append([]string{"all"}, ExperimentIDs()...)
+		sort.Strings(ids)
+		return "", nil, fmt.Errorf("sdpm: unknown experiment %q (have %v)", id, ids)
+	}
+}

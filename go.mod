@@ -1,0 +1,3 @@
+module sdpm
+
+go 1.22

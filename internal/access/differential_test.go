@@ -1,0 +1,44 @@
+package access
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sdpm/internal/layout"
+	"sdpm/internal/progen"
+)
+
+// TestWalkerMatchesBruteForceGenerated compares the boundary-jumping
+// walker against the per-element reference implementation on randomly
+// generated programs — including column-major, blocked, strided,
+// reversed, and constant-subscript references.
+func TestWalkerMatchesBruteForceGenerated(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	for trial := 0; trial < 120; trial++ {
+		p := progen.Generate(rng, progen.DefaultOptions())
+		sub := layout.NewSubsystem(1 + rng.Intn(6))
+		factor := 1 + rng.Intn(sub.NumDisks())
+		unit := int64(512 * (1 + rng.Intn(4)))
+		ok := true
+		for i, a := range p.Arrays {
+			st := layout.Striping{StartDisk: i % sub.NumDisks(), Factor: factor, UnitBytes: unit}
+			if err := sub.Place(a.Name, a.SizeBytes(), st); err != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		got, err := Touches(p, sub)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := bruteTouches(t, p, sub)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (%s): walker diverged from brute force\n got %d touches\nwant %d touches",
+				trial, p.Name, len(got), len(want))
+		}
+	}
+}

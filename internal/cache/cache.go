@@ -1,0 +1,82 @@
+// Package cache implements the buffer cache that sits between the
+// application's array references and the disk subsystem. Following
+// the paper's setup, data is cached at stripe-unit granularity: an
+// array reference causes a disk access unless its stripe unit is
+// already cached, which is what makes the evaluated workloads issue
+// one request per stripe unit per sweep.
+package cache
+
+import "container/list"
+
+// Key identifies one stripe unit of one array file.
+type Key struct {
+	File string
+	Unit int64
+}
+
+// LRU is a fixed-capacity least-recently-used cache of stripe units.
+// The zero value is not usable; use New.
+type LRU struct {
+	capacity int
+	ll       *list.List
+	m        map[Key]*list.Element
+	hits     int64
+	misses   int64
+}
+
+// New returns an LRU holding at most capUnits stripe units. A
+// capacity of zero disables caching (every touch misses).
+func New(capUnits int) *LRU {
+	if capUnits < 0 {
+		capUnits = 0
+	}
+	return &LRU{
+		capacity: capUnits,
+		ll:       list.New(),
+		m:        make(map[Key]*list.Element, capUnits),
+	}
+}
+
+// Touch records an access to the given unit. It reports whether the
+// unit was present (a cache hit); on a miss the unit is inserted,
+// evicting the least recently used unit if the cache is full.
+func (c *LRU) Touch(k Key) bool {
+	if e, ok := c.m[k]; ok {
+		c.ll.MoveToFront(e)
+		c.hits++
+		return true
+	}
+	c.misses++
+	if c.capacity == 0 {
+		return false
+	}
+	if c.ll.Len() >= c.capacity {
+		back := c.ll.Back()
+		delete(c.m, back.Value.(Key))
+		c.ll.Remove(back)
+	}
+	c.m[k] = c.ll.PushFront(k)
+	return false
+}
+
+// Contains reports whether the unit is cached, without touching it.
+func (c *LRU) Contains(k Key) bool {
+	_, ok := c.m[k]
+	return ok
+}
+
+// Len returns the number of cached units.
+func (c *LRU) Len() int { return c.ll.Len() }
+
+// Cap returns the capacity in units.
+func (c *LRU) Cap() int { return c.capacity }
+
+// Stats returns the cumulative hit and miss counts.
+func (c *LRU) Stats() (hits, misses int64) { return c.hits, c.misses }
+
+// Reset empties the cache and clears the statistics.
+func (c *LRU) Reset() {
+	c.ll.Init()
+	c.m = make(map[Key]*list.Element, c.capacity)
+	c.hits, c.misses = 0, 0
+}

@@ -1,0 +1,67 @@
+// Package cli holds the shared helpers of the command-line tools:
+// workload loading and layout-spec parsing.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sdpm"
+)
+
+// LoadWorkload resolves the -bench / -dsl flag pair common to the
+// tools: exactly one must be set.
+func LoadWorkload(bench, dslFile string) (*sdpm.Workload, error) {
+	switch {
+	case bench != "" && dslFile != "":
+		return nil, fmt.Errorf("use either -bench or -dsl, not both")
+	case bench != "":
+		return sdpm.Benchmark(bench)
+	case dslFile != "":
+		src, err := os.ReadFile(dslFile)
+		if err != nil {
+			return nil, err
+		}
+		return sdpm.ParseProgram(string(src))
+	default:
+		return nil, fmt.Errorf("one of -bench or -dsl is required (benchmarks: %v)", sdpm.BenchmarkNames())
+	}
+}
+
+// ApplyLayoutSpecs parses and applies -layout specifications of the
+// form "array=start:factor:unitKB", comma separated — the command
+// line route for handing the compiler pre-existing disk layouts
+// (Section 3 of the paper).
+func ApplyLayoutSpecs(w *sdpm.Workload, specs string) error {
+	if specs == "" {
+		return nil
+	}
+	for _, spec := range strings.Split(specs, ",") {
+		name, tuple, ok := strings.Cut(strings.TrimSpace(spec), "=")
+		if !ok {
+			return fmt.Errorf("cli: layout %q: want array=start:factor:unitKB", spec)
+		}
+		parts := strings.Split(tuple, ":")
+		if len(parts) != 3 {
+			return fmt.Errorf("cli: layout %q: want start:factor:unitKB", spec)
+		}
+		start, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return fmt.Errorf("cli: layout %q: bad starting disk: %v", spec, err)
+		}
+		factor, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return fmt.Errorf("cli: layout %q: bad stripe factor: %v", spec, err)
+		}
+		unitKB, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return fmt.Errorf("cli: layout %q: bad unit size: %v", spec, err)
+		}
+		if err := w.SetLayout(name, start, factor, int64(unitKB)*1024); err != nil {
+			return err
+		}
+	}
+	return nil
+}

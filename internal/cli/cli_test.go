@@ -1,0 +1,69 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadWorkloadBench(t *testing.T) {
+	w, err := LoadWorkload("galgel", "")
+	if err != nil || w.Name() != "galgel" {
+		t.Fatalf("LoadWorkload: %v", err)
+	}
+	if _, err := LoadWorkload("nope", ""); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := LoadWorkload("", ""); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := LoadWorkload("galgel", "x.sdpm"); err == nil {
+		t.Error("both sources accepted")
+	}
+}
+
+func TestLoadWorkloadDSL(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.sdpm")
+	src := "program p\narray a[8192]\nnest n { for i = 0..8192 do cost 10 { read a[i] } }\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := LoadWorkload("", path)
+	if err != nil || w.Name() != "p" {
+		t.Fatalf("LoadWorkload: %v", err)
+	}
+	if _, err := LoadWorkload("", filepath.Join(dir, "missing.sdpm")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.sdpm")
+	_ = os.WriteFile(bad, []byte("garbage"), 0o644)
+	if _, err := LoadWorkload("", bad); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestApplyLayoutSpecs(t *testing.T) {
+	w, _ := LoadWorkload("galgel", "")
+	if err := ApplyLayoutSpecs(w, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyLayoutSpecs(w, "g1=0:4:64, g2=4:4:64"); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{
+		"g1",           // no tuple
+		"g1=1:2",       // short tuple
+		"g1=x:2:64",    // bad start
+		"g1=0:x:64",    // bad factor
+		"g1=0:2:x",     // bad unit
+		"ghost=0:2:64", // unknown array
+	} {
+		if err := ApplyLayoutSpecs(w, bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		} else if !strings.Contains(err.Error(), "layout") && !strings.Contains(err.Error(), "array") {
+			t.Errorf("spec %q: unhelpful error %v", bad, err)
+		}
+	}
+}

@@ -1,0 +1,452 @@
+// Package core wires the compiler side (analysis, transformation,
+// power-call insertion, trace generation) to the simulator side
+// (policies, disk model) into the pipelines the paper evaluates: it
+// prepares a program on a disk subsystem, runs it under any of the
+// seven power-management schemes of Section 4.2, and applies the
+// code/layout versions of Section 6.
+package core
+
+import (
+	"fmt"
+
+	"sdpm/internal/cycles"
+	"sdpm/internal/dap"
+	"sdpm/internal/disk"
+	"sdpm/internal/insert"
+	"sdpm/internal/ir"
+	"sdpm/internal/layout"
+	"sdpm/internal/oracle"
+	"sdpm/internal/policy"
+	"sdpm/internal/sim"
+	"sdpm/internal/trace"
+	"sdpm/internal/tracegen"
+	"sdpm/internal/xform"
+)
+
+// Scheme names a disk power management scheme of Section 4.2.
+type Scheme string
+
+// The seven evaluated schemes.
+const (
+	Base   Scheme = "Base"
+	TPM    Scheme = "TPM"
+	ITPM   Scheme = "ITPM"
+	DRPM   Scheme = "DRPM"
+	IDRPM  Scheme = "IDRPM"
+	CMTPM  Scheme = "CMTPM"
+	CMDRPM Scheme = "CMDRPM"
+)
+
+// AllSchemes returns the schemes in the paper's Figure 3 order.
+func AllSchemes() []Scheme {
+	return []Scheme{Base, TPM, ITPM, DRPM, IDRPM, CMTPM, CMDRPM}
+}
+
+// Version names a code/layout version of Section 6.
+type Version string
+
+// The evaluated code versions.
+const (
+	VOrig Version = "orig"
+	VLF   Version = "LF"
+	VTL   Version = "TL"
+	VLFDL Version = "LF+DL"
+	VTLDL Version = "TL+DL"
+	// VIC is loop interchange — an extension beyond the paper's two
+	// transformations, implementing its remark that other loop
+	// transformations can be adapted to disk layouts.
+	VIC Version = "IC"
+)
+
+// AllVersions returns the code versions in the paper's order.
+func AllVersions() []Version {
+	return []Version{VOrig, VLF, VTL, VLFDL, VTLDL}
+}
+
+// ExtendedVersions returns the paper's versions plus the extensions.
+func ExtendedVersions() []Version {
+	return append(AllVersions(), VIC)
+}
+
+// Config collects every knob of the experimental platform.
+type Config struct {
+	// Disk holds the Table 1 disk parameters.
+	Disk disk.Params
+	// NumDisks is the subsystem size; the default striping uses all
+	// of them (Table 1's stripe factor).
+	NumDisks int
+	// UnitBytes is the default stripe unit size.
+	UnitBytes int64
+	// CacheUnits is the buffer cache capacity in stripe units.
+	CacheUnits int
+	// Model is the cycle/jitter model (nil: exact 750 MHz).
+	Model *cycles.Model
+	// PowerCallOverheadMS is Tm of Equation 1.
+	PowerCallOverheadMS float64
+	// DisablePreactivation drops pre-activation calls (ablation).
+	DisablePreactivation bool
+	// NoCache disables the buffer cache (ablation).
+	NoCache bool
+	// DistanceAwareSeek replaces the average-seek model with the
+	// square-root seek curve over actual head movement.
+	DistanceAwareSeek bool
+}
+
+// DefaultConfig returns the Table 1 configuration.
+func DefaultConfig() Config {
+	return Config{
+		Disk:                disk.DefaultParams(),
+		NumDisks:            8,
+		UnitBytes:           65536,
+		CacheUnits:          16,
+		PowerCallOverheadMS: sim.DefaultPowerCallOverheadMS,
+	}
+}
+
+func (c *Config) model() *cycles.Model {
+	if c.Model != nil {
+		return c.Model
+	}
+	return cycles.New(cycles.DefaultClockHz, 0, 0)
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if err := c.Disk.Validate(); err != nil {
+		return err
+	}
+	if c.NumDisks <= 0 {
+		return fmt.Errorf("core: non-positive disk count")
+	}
+	if c.UnitBytes <= 0 || c.UnitBytes%layout.BlockSize != 0 {
+		return fmt.Errorf("core: bad stripe unit %d", c.UnitBytes)
+	}
+	return nil
+}
+
+// Instance is a program prepared on a disk subsystem: placed,
+// analyzed, and ready to run under any scheme.
+type Instance struct {
+	Name    string
+	Program *ir.Program
+	Sub     *layout.Subsystem
+	Sites   []tracegen.Site
+	Cfg     Config
+
+	baseTrace *trace.Trace
+	instr     map[insert.Mode]*instrumented
+}
+
+type instrumented struct {
+	tr   *trace.Trace
+	plan *insert.Plan
+}
+
+// Prepare places the program's arrays (staggered default striping,
+// with per-array overrides from a layout-aware transformation),
+// extracts the request sites, and returns a runnable instance.
+func Prepare(name string, p *ir.Program, cfg Config, overrides map[string]layout.Striping) (*Instance, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	sub := layout.NewSubsystem(cfg.NumDisks)
+	for i, a := range p.Arrays {
+		st := layout.Striping{StartDisk: i % cfg.NumDisks, Factor: cfg.NumDisks, UnitBytes: cfg.UnitBytes}
+		if o, ok := overrides[a.Name]; ok {
+			st = o
+		}
+		if err := sub.Place(a.Name, a.SizeBytes(), st); err != nil {
+			return nil, err
+		}
+	}
+	var sites []tracegen.Site
+	var err error
+	if cfg.NoCache {
+		sites, err = tracegen.SitesNoCache(p, sub)
+	} else {
+		sites, err = tracegen.Sites(p, sub, cfg.CacheUnits)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{
+		Name: name, Program: p, Sub: sub, Sites: sites, Cfg: cfg,
+		instr: make(map[insert.Mode]*instrumented),
+	}, nil
+}
+
+// BaseTrace returns (and caches) the uninstrumented runtime trace.
+func (in *Instance) BaseTrace() *trace.Trace {
+	if in.baseTrace == nil {
+		p := in.Cfg.Disk
+		in.baseTrace = tracegen.FromSites(in.Name, in.Cfg.NumDisks, in.Sites, tracegen.Options{
+			Model:            in.Cfg.model(),
+			NominalServiceMS: func(b int64) float64 { return p.ServiceTimeMS(p.MaxRPM, b) },
+		})
+	}
+	return in.baseTrace
+}
+
+// Instrumented returns (and caches) the compiler-instrumented trace
+// and plan for the given mode.
+func (in *Instance) Instrumented(mode insert.Mode) (*trace.Trace, *insert.Plan, error) {
+	if got, ok := in.instr[mode]; ok {
+		return got.tr, got.plan, nil
+	}
+	tr, plan, err := insert.Instrument(in.Name, in.Cfg.NumDisks, in.Sites, insert.Options{
+		Mode: mode, Disk: in.Cfg.Disk, Model: in.Cfg.model(),
+		DisablePreactivation: in.Cfg.DisablePreactivation,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	in.instr[mode] = &instrumented{tr: tr, plan: plan}
+	return tr, plan, nil
+}
+
+// Run simulates the instance under the given scheme.
+func (in *Instance) Run(s Scheme) (*sim.Result, error) {
+	cfg := sim.Config{
+		Disk:                in.Cfg.Disk,
+		PowerCallOverheadMS: in.Cfg.PowerCallOverheadMS,
+		DistanceAwareSeek:   in.Cfg.DistanceAwareSeek,
+	}
+	tr := in.BaseTrace()
+	switch s {
+	case Base:
+		cfg.Policy = policy.NewBase()
+	case TPM:
+		cfg.Policy = policy.NewTPM(in.Cfg.Disk, 0)
+	case ITPM:
+		cfg.Policy = policy.NewITPM(in.Cfg.Disk)
+	case DRPM:
+		cfg.Policy = policy.NewDRPM(in.Cfg.Disk, in.Cfg.NumDisks)
+	case IDRPM:
+		cfg.Policy = policy.NewIDRPM(in.Cfg.Disk)
+	case CMTPM, CMDRPM:
+		mode := insert.ModeTPM
+		if s == CMDRPM {
+			mode = insert.ModeDRPM
+		}
+		itr, _, err := in.Instrumented(mode)
+		if err != nil {
+			return nil, err
+		}
+		tr = itr
+	default:
+		return nil, fmt.Errorf("core: unknown scheme %q", s)
+	}
+	res, err := sim.Run(tr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Scheme = string(s)
+	res.Program = in.Name
+	return res, nil
+}
+
+// RunOpen replays the instance's trace in open-loop (arrival-driven,
+// per-disk FIFO) mode under a reactive or oracle scheme. The
+// compiler-managed schemes are closed-loop by construction (their
+// power calls are program-order events), so they are rejected here.
+func (in *Instance) RunOpen(s Scheme) (*sim.Result, error) {
+	cfg := sim.Config{
+		Disk:              in.Cfg.Disk,
+		DistanceAwareSeek: in.Cfg.DistanceAwareSeek,
+	}
+	switch s {
+	case Base:
+		cfg.Policy = policy.NewBase()
+	case TPM:
+		cfg.Policy = policy.NewTPM(in.Cfg.Disk, 0)
+	case ITPM:
+		cfg.Policy = policy.NewITPM(in.Cfg.Disk)
+	case DRPM:
+		cfg.Policy = policy.NewDRPM(in.Cfg.Disk, in.Cfg.NumDisks)
+	case IDRPM:
+		cfg.Policy = policy.NewIDRPM(in.Cfg.Disk)
+	default:
+		return nil, fmt.Errorf("core: open-loop replay supports reactive/oracle schemes, not %q", s)
+	}
+	res, err := sim.RunOpenLoop(in.BaseTrace(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Program = in.Name
+	return res, nil
+}
+
+// Mispredictions runs the Table 3 analysis: the CMDRPM plan's speed
+// choices versus the oracle-optimal choices for the actual idle
+// periods of a base run.
+func (in *Instance) Mispredictions() (oracle.MispredictStats, error) {
+	_, plan, err := in.Instrumented(insert.ModeDRPM)
+	if err != nil {
+		return oracle.MispredictStats{}, err
+	}
+	base, err := in.Run(Base)
+	if err != nil {
+		return oracle.MispredictStats{}, err
+	}
+	return oracle.Mispredictions(plan, base.Idles, in.Cfg.Disk)
+}
+
+// EstimateEnergy returns the compiler's energy prediction for the
+// given scheme (Base, CMTPM, or CMDRPM) on the predicted timeline.
+func (in *Instance) EstimateEnergy(s Scheme) (float64, error) {
+	switch s {
+	case Base:
+		_, plan, err := in.Instrumented(insert.ModeDRPM)
+		if err != nil {
+			return 0, err
+		}
+		return plan.EstimateBaseEnergyJ(in.Cfg.Disk, in.Sites), nil
+	case CMTPM, CMDRPM:
+		mode := insert.ModeTPM
+		if s == CMDRPM {
+			mode = insert.ModeDRPM
+		}
+		_, plan, err := in.Instrumented(mode)
+		if err != nil {
+			return 0, err
+		}
+		return plan.EstimateEnergyJ(in.Cfg.Disk, in.Sites), nil
+	default:
+		return 0, fmt.Errorf("core: no compiler estimate for scheme %q", s)
+	}
+}
+
+// SelectScheme performs the paper's strategy selection: the compiler
+// instruments the program for both TPM and DRPM, estimates each
+// plan's energy, and returns the cheaper compiler-managed scheme
+// together with its predicted energy.
+func (in *Instance) SelectScheme() (Scheme, float64, error) {
+	tpm, err := in.EstimateEnergy(CMTPM)
+	if err != nil {
+		return "", 0, err
+	}
+	drpm, err := in.EstimateEnergy(CMDRPM)
+	if err != nil {
+		return "", 0, err
+	}
+	if tpm < drpm {
+		return CMTPM, tpm, nil
+	}
+	return CMDRPM, drpm, nil
+}
+
+// NestRequests returns the per-nest request counts, the disk-energy
+// cost metric handed to the layout-aware tiler.
+func (in *Instance) NestRequests() []float64 {
+	out := make([]float64, len(in.Program.Nests))
+	for _, s := range in.Sites {
+		out[s.Nest]++
+	}
+	return out
+}
+
+// DAP builds the disk access pattern of the instance on the
+// compiler's predicted timeline.
+func (in *Instance) DAP(coalesceMS float64) *dap.DAP {
+	p := in.Cfg.Disk
+	svc := func(b int64) float64 { return p.ServiceTimeMS(p.MaxRPM, b) }
+	issue := tracegen.PredictedIssueMS(in.Sites, in.Cfg.model(), svc)
+	return dap.Build(in.Sites, issue, in.Cfg.NumDisks, svc, coalesceMS)
+}
+
+// ApplyVersion applies a Section 6 code/layout version to a program.
+// It returns the transformed program, the per-array striping
+// overrides the transformation determined (nil for the oblivious
+// versions), and whether the transformation applied at all — the
+// compiler leaves a program unchanged when it finds nothing to
+// transform (no fissionable nests; no tileable nest; layouts already
+// conforming), which is exactly how wupwise/galgel behave under LF
+// and swim/mgrid/galgel under TL+DL in the paper.
+func ApplyVersion(p *ir.Program, v Version, cfg Config, nestCost []float64) (*ir.Program, map[string]layout.Striping, bool, error) {
+	switch v {
+	case VOrig:
+		return p, nil, true, nil
+	case VLF:
+		if !xform.Fissionable(p) {
+			return p, nil, false, nil
+		}
+		return xform.Fission(p), nil, true, nil
+	case VLFDL:
+		if !xform.Fissionable(p) {
+			return p, nil, false, nil
+		}
+		fp := xform.ClusterByGroup(xform.Fission(p))
+		groups := xform.ArrayGroups(fp)
+		if len(groups) < 2 || len(groups) > cfg.NumDisks {
+			// Nothing to separate, or not enough disks to give every
+			// group a disjoint set: the compiler declines.
+			return p, nil, false, nil
+		}
+		st, err := xform.AssignGroupDisks(groups, cfg.NumDisks, cfg.UnitBytes)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		return fp, st, true, nil
+	case VTL:
+		// Layout-oblivious tiling targets the compute-costliest nest
+		// with conventional row-panel tiles (a CPU-cache oriented
+		// tiler knows nothing of disk layouts).
+		res, err := xform.Tile(p, xform.TileOptions{
+			UnitBytes: cfg.UnitBytes, NumDisks: cfg.NumDisks, LayoutAware: false,
+			PanelTiles: true,
+		})
+		if err != nil {
+			return p, nil, false, nil
+		}
+		return res.Program, nil, true, nil
+	case VTLDL:
+		res, err := xform.Tile(p, xform.TileOptions{
+			UnitBytes: cfg.UnitBytes, NumDisks: cfg.NumDisks, LayoutAware: true,
+			NestCost: nestCost,
+		})
+		if err != nil {
+			return p, nil, false, nil
+		}
+		if len(res.Transposed) == 0 {
+			// The access patterns already conform to the layouts:
+			// the transformation has nothing to repair.
+			return p, nil, false, nil
+		}
+		return res.Program, res.Stripings, true, nil
+	case VIC:
+		ip, changed := xform.Interchange(p)
+		if len(changed) == 0 {
+			return p, nil, false, nil
+		}
+		return ip, nil, true, nil
+	default:
+		return nil, nil, false, fmt.Errorf("core: unknown version %q", v)
+	}
+}
+
+// PrepareVersion applies the version to the program and prepares the
+// result. The returned bool reports whether the transformation
+// actually applied. nestCost may be nil; it is computed from the
+// original program when the version needs it.
+func PrepareVersion(name string, p *ir.Program, v Version, cfg Config) (*Instance, bool, error) {
+	var nestCost []float64
+	if v == VTLDL {
+		orig, err := Prepare(name, p, cfg, nil)
+		if err != nil {
+			return nil, false, err
+		}
+		nestCost = orig.NestRequests()
+	}
+	tp, overrides, applied, err := ApplyVersion(p, v, cfg, nestCost)
+	if err != nil {
+		return nil, false, err
+	}
+	in, err := Prepare(name+"/"+string(v), tp, cfg, overrides)
+	if err != nil {
+		return nil, false, err
+	}
+	return in, applied, nil
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sdpm/internal/insert"
+	"sdpm/internal/workloads"
+)
+
+func prepBench(t *testing.T, name string) *Instance {
+	t.Helper()
+	b, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Model = b.Model()
+	cfg.CacheUnits = b.CacheUnits
+	in, err := Prepare(name, b.Program, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestSchemeOrderingGalgel(t *testing.T) {
+	in := prepBench(t, "galgel")
+	res := map[Scheme]float64{}
+	exec := map[Scheme]float64{}
+	for _, s := range AllSchemes() {
+		r, err := in.Run(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		res[s] = r.EnergyJ
+		exec[s] = r.ExecMS
+	}
+	// Figure 3 ordering on the untransformed codes:
+	// TPM ~ ITPM ~ Base; IDRPM < CMDRPM < DRPM < Base.
+	if math.Abs(res[TPM]-res[Base]) > 0.02*res[Base] {
+		t.Errorf("TPM %f vs base %f", res[TPM], res[Base])
+	}
+	if !(res[IDRPM] < res[CMDRPM] && res[CMDRPM] < res[DRPM] && res[DRPM] < 0.95*res[Base]) {
+		t.Errorf("energy ordering violated: base=%.0f drpm=%.0f cmdrpm=%.0f idrpm=%.0f",
+			res[Base], res[DRPM], res[CMDRPM], res[IDRPM])
+	}
+	// Figure 4: DRPM pays a time penalty; CMDRPM and the oracles do
+	// not (beyond power-call overhead).
+	if exec[DRPM] < 1.02*exec[Base] {
+		t.Errorf("DRPM penalty missing: %.0f vs %.0f", exec[DRPM], exec[Base])
+	}
+	if exec[CMDRPM] > 1.03*exec[Base] {
+		t.Errorf("CMDRPM penalty too high: %.0f vs %.0f", exec[CMDRPM], exec[Base])
+	}
+	if math.Abs(exec[IDRPM]-exec[Base]) > 1e-6*exec[Base] {
+		t.Errorf("IDRPM changed exec time")
+	}
+}
+
+func TestCMDRPMNearIdealAllBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix run is slow")
+	}
+	for _, name := range workloads.Names() {
+		in := prepBench(t, name)
+		base, err := in.Run(Base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := in.Run(IDRPM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm, err := in.Run(CMDRPM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idSave := 1 - id.EnergyJ/base.EnergyJ
+		cmSave := 1 - cm.EnergyJ/base.EnergyJ
+		if idSave < 0.3 {
+			t.Errorf("%s: IDRPM saves only %.1f%%", name, idSave*100)
+		}
+		if cmSave < idSave-0.12 {
+			t.Errorf("%s: CMDRPM (%.1f%%) too far from IDRPM (%.1f%%)", name, cmSave*100, idSave*100)
+		}
+		t.Logf("%-8s IDRPM %.1f%%  CMDRPM %.1f%%  CMDRPM time %.3fx",
+			name, idSave*100, cmSave*100, cm.ExecMS/base.ExecMS)
+	}
+}
+
+func TestMispredictionsInPaperBand(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	// Table 3 reports 5.14 .. 27.35%; require every benchmark in a
+	// generous band around it.
+	for _, name := range workloads.Names() {
+		in := prepBench(t, name)
+		st, err := in.Mispredictions()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Pct < 1 || st.Pct > 45 {
+			t.Errorf("%s: misprediction %.2f%% outside plausible band", name, st.Pct)
+		}
+		t.Logf("%-8s mispredicted %.2f%% of %d gaps", name, st.Pct, st.TotalGaps)
+	}
+}
+
+func TestApplyVersionSemantics(t *testing.T) {
+	cfg := DefaultConfig()
+	// Unfissionable programs: LF and LF+DL do not apply.
+	g, _ := workloads.ByName("galgel")
+	for _, v := range []Version{VLF, VLFDL} {
+		tp, st, applied, err := ApplyVersion(g.Program, v, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if applied || tp != g.Program || st != nil {
+			t.Errorf("galgel %s: applied=%v", v, applied)
+		}
+	}
+	// Conforming programs: TL+DL does not apply.
+	s, _ := workloads.ByName("swim")
+	if _, _, applied, _ := ApplyVersion(s.Program, VTLDL, cfg, nil); applied {
+		t.Error("swim TL+DL applied despite conforming accesses")
+	}
+	// Fissionable programs: LF applies and multiplies nests.
+	tp, _, applied, err := ApplyVersion(s.Program, VLF, cfg, nil)
+	if err != nil || !applied {
+		t.Fatalf("swim LF: %v applied=%v", err, applied)
+	}
+	if len(tp.Nests) <= len(s.Program.Nests) {
+		t.Error("swim LF did not split nests")
+	}
+	// LF+DL assigns multiple disjoint groups.
+	_, st, applied, err := ApplyVersion(s.Program, VLFDL, cfg, nil)
+	if err != nil || !applied || len(st) == 0 {
+		t.Fatalf("swim LF+DL: %v", err)
+	}
+	factors := map[int]bool{}
+	for _, v := range st {
+		factors[v.StartDisk] = true
+	}
+	if len(factors) < 2 {
+		t.Error("swim LF+DL used one disk range")
+	}
+	// Transposed programs: TL+DL applies.
+	m, _ := workloads.ByName("mesa")
+	inOrig, err := Prepare("mesa", m.Program, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, st, applied, err = ApplyVersion(m.Program, VTLDL, cfg, inOrig.NestRequests())
+	if err != nil || !applied {
+		t.Fatalf("mesa TL+DL: %v applied=%v", err, applied)
+	}
+	if tp.ArrayByName("tex").Block == nil {
+		t.Error("mesa TL+DL did not block the texture")
+	}
+	if _, ok := st["tex"]; !ok {
+		t.Error("mesa TL+DL missing tex striping")
+	}
+	// Unknown version.
+	if _, _, _, err := ApplyVersion(s.Program, "bogus", cfg, nil); err == nil {
+		t.Error("bogus version accepted")
+	}
+}
+
+func TestPrepareVersionRuns(t *testing.T) {
+	m, _ := workloads.ByName("mesa")
+	cfg := DefaultConfig()
+	cfg.Model = m.Model()
+	in, applied, err := PrepareVersion("mesa", m.Program, VTLDL, cfg)
+	if err != nil || !applied {
+		t.Fatalf("PrepareVersion: %v", err)
+	}
+	if !strings.Contains(in.Name, "TL+DL") {
+		t.Errorf("name = %q", in.Name)
+	}
+	// The transposed pass collapses: far fewer requests than the
+	// original.
+	orig, err := Prepare("mesa", m.Program, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Sites) >= len(orig.Sites) {
+		t.Errorf("TL+DL did not reduce requests: %d vs %d", len(in.Sites), len(orig.Sites))
+	}
+}
+
+func TestInstanceHelpers(t *testing.T) {
+	in := prepBench(t, "galgel")
+	if tr := in.BaseTrace(); tr != in.BaseTrace() {
+		t.Error("BaseTrace not cached")
+	}
+	tr1, plan1, err := in.Instrumented(insert.ModeDRPM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, plan2, _ := in.Instrumented(insert.ModeDRPM)
+	if tr1 != tr2 || plan1 != plan2 {
+		t.Error("Instrumented not cached")
+	}
+	nr := in.NestRequests()
+	var tot float64
+	for _, v := range nr {
+		tot += v
+	}
+	if int(tot) != len(in.Sites) {
+		t.Errorf("nest requests %v sum to %.0f, want %d", nr, tot, len(in.Sites))
+	}
+	d := in.DAP(0)
+	if len(d.Disks) != in.Cfg.NumDisks {
+		t.Error("DAP disk count")
+	}
+	if _, err := in.Run("nope"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumDisks = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero disks accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.UnitBytes = 1000
+	if err := cfg.Validate(); err == nil {
+		t.Error("unaligned unit accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Disk.RPMStep = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("bad disk accepted")
+	}
+}
+
+func TestEnergyEstimateTracksSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	// The compiler's energy prediction must track the simulator
+	// closely — it is the basis for strategy selection.
+	for _, name := range workloads.Names() {
+		in := prepBench(t, name)
+		for _, s := range []Scheme{Base, CMDRPM} {
+			est, err := in.EstimateEnergy(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := in.Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The estimate ignores the pre-activation safety margin,
+			// call overheads, and misprediction losses, so it runs a
+			// few percent optimistic.
+			ratio := est / res.EnergyJ
+			if ratio < 0.85 || ratio > 1.1 {
+				t.Errorf("%s/%s: estimate %.0f vs simulated %.0f (%.3f)", name, s, est, res.EnergyJ, ratio)
+			}
+		}
+	}
+}
+
+func TestSelectScheme(t *testing.T) {
+	in := prepBench(t, "galgel")
+	s, predicted, err := in.SelectScheme()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On the untransformed workloads TPM cannot exploit the short
+	// gaps, so the selector must pick CMDRPM.
+	if s != CMDRPM {
+		t.Errorf("selected %s", s)
+	}
+	tpmEst, _ := in.EstimateEnergy(CMTPM)
+	if predicted > tpmEst {
+		t.Errorf("selected scheme predicted %.0f > alternative %.0f", predicted, tpmEst)
+	}
+	if _, err := in.EstimateEnergy(DRPM); err == nil {
+		t.Error("estimate for reactive scheme accepted")
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sdpm/internal/progen"
+)
+
+// TestPipelineInvariantsGenerated pushes randomly generated programs
+// through the complete pipeline — placement, analysis,
+// instrumentation, and simulation under every scheme — and checks
+// the invariants that must hold for any program:
+//
+//   - all traces validate;
+//   - oracle schemes never use more energy than base and never
+//     change the execution time;
+//   - compiler-managed schemes never exceed base energy by more than
+//     the power-call overhead, and their request sequence matches
+//     base;
+//   - the compiler's energy estimates stay finite and positive.
+func TestPipelineInvariantsGenerated(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	rng := rand.New(rand.NewSource(1234))
+	opts := progen.DefaultOptions()
+	opts.MaxDim = 96
+	trials := 0
+	for trials < 40 {
+		p := progen.Generate(rng, opts)
+		cfg := DefaultConfig()
+		cfg.NumDisks = 1 + rng.Intn(8)
+		cfg.UnitBytes = 512 << rng.Intn(4)
+		cfg.CacheUnits = 4 + rng.Intn(16)
+		in, err := Prepare(p.Name, p, cfg, nil)
+		if err != nil {
+			t.Fatalf("prepare: %v", err)
+		}
+		if len(in.Sites) == 0 {
+			continue // degenerate: everything cached
+		}
+		trials++
+
+		if err := in.BaseTrace().Validate(); err != nil {
+			t.Fatalf("base trace invalid: %v", err)
+		}
+		base, err := in.Run(Base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range AllSchemes()[1:] {
+			res, err := in.Run(s)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", p.Name, s, err)
+			}
+			if res.EnergyJ <= 0 || math.IsNaN(res.EnergyJ) || math.IsInf(res.EnergyJ, 0) {
+				t.Fatalf("%s/%s: bad energy %v", p.Name, s, res.EnergyJ)
+			}
+			switch s {
+			case ITPM, IDRPM:
+				if res.EnergyJ > base.EnergyJ+1e-6 {
+					t.Fatalf("%s/%s: oracle energy %.3f above base %.3f", p.Name, s, res.EnergyJ, base.EnergyJ)
+				}
+				if math.Abs(res.ExecMS-base.ExecMS) > 1e-6 {
+					t.Fatalf("%s/%s: oracle changed exec time", p.Name, s)
+				}
+			case CMTPM, CMDRPM:
+				if res.Requests != base.Requests {
+					t.Fatalf("%s/%s: request count changed: %d vs %d", p.Name, s, res.Requests, base.Requests)
+				}
+				// Allow the call overheads and rare late
+				// pre-activations, but never a large regression.
+				if res.EnergyJ > base.EnergyJ*1.02+1 {
+					t.Fatalf("%s/%s: energy %.3f above base %.3f", p.Name, s, res.EnergyJ, base.EnergyJ)
+				}
+			}
+		}
+		for _, s := range []Scheme{Base, CMTPM, CMDRPM} {
+			est, err := in.EstimateEnergy(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if est <= 0 || math.IsNaN(est) || math.IsInf(est, 0) {
+				t.Fatalf("%s/%s: bad estimate %v", p.Name, s, est)
+			}
+		}
+	}
+}
+
+// TestTransformInvariantsGenerated applies every version to random
+// programs: transformed programs must validate, preserve total
+// compute, and run under CMDRPM without violating the base-energy
+// bound.
+func TestTransformInvariantsGenerated(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 30; trial++ {
+		p := progen.Generate(rng, progen.DefaultOptions())
+		cfg := DefaultConfig()
+		cfg.NumDisks = 2 + rng.Intn(7)
+		for _, v := range ExtendedVersions() {
+			in, _, err := PrepareVersion(p.Name, p, v, cfg)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, v, err)
+			}
+			if err := in.Program.Validate(); err != nil {
+				t.Fatalf("trial %d %s: transformed program invalid: %v", trial, v, err)
+			}
+			if in.Program.TotalCost() != p.TotalCost() {
+				t.Fatalf("trial %d %s: compute changed", trial, v)
+			}
+			if len(in.Sites) == 0 {
+				continue
+			}
+			base, err := in.Run(Base)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, v, err)
+			}
+			cm, err := in.Run(CMDRPM)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, v, err)
+			}
+			if cm.EnergyJ > base.EnergyJ*1.02+1 {
+				t.Fatalf("trial %d %s: CMDRPM energy above base", trial, v)
+			}
+		}
+	}
+}

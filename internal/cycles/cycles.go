@@ -1,0 +1,111 @@
+// Package cycles converts loop-iteration compute costs into wall
+// time, modelling the paper's cycle-estimation methodology: the
+// compiler's estimates come from measured mean per-iteration times
+// (gethrtime on a 750 MHz UltraSPARC-III), while the actual
+// per-iteration times at run time vary around that mean. The gap
+// between estimate and actual is what causes the compiler-managed
+// schemes to occasionally mispredict the optimal disk speed
+// (Table 3 of the paper).
+package cycles
+
+// DefaultClockHz is the clock rate of the paper's measurement
+// machine, a SUN Blade1000 (UltraSPARC-III at 750 MHz).
+const DefaultClockHz = 750e6
+
+// Model converts compute-cycle counts to milliseconds and produces
+// deterministic per-step execution-time jitter. Two error sources
+// separate the compiler's estimates from actual execution:
+//
+//   - NoisePct: zero-mean per-step jitter (cache effects,
+//     data-dependent control flow), which largely averages out over
+//     multi-iteration gaps;
+//   - BiasPct: a systematic per-nest scale factor (the compiler's
+//     gethrtime-derived mean misestimating a particular nest's
+//     per-iteration cost), which shifts whole idle periods and is
+//     the dominant cause of disk-speed mispredictions (Table 3).
+type Model struct {
+	// ClockHz is the CPU clock rate.
+	ClockHz float64
+	// NoisePct is the peak-to-mean execution time variation: each
+	// actual duration is the mean scaled by a factor drawn
+	// deterministically from [1-NoisePct/100, 1+NoisePct/100].
+	NoisePct float64
+	// BiasPct is the peak systematic per-nest estimation error; each
+	// nest's actual per-iteration time is the mean scaled by a
+	// deterministic factor in [1-BiasPct/100, 1+BiasPct/100].
+	BiasPct float64
+	// Seed selects the deterministic jitter and bias sequences.
+	Seed uint64
+}
+
+// New returns a model with the given clock, noise percentage, and
+// jitter seed.
+func New(clockHz, noisePct float64, seed uint64) *Model {
+	if clockHz <= 0 {
+		clockHz = DefaultClockHz
+	}
+	if noisePct < 0 {
+		noisePct = 0
+	}
+	return &Model{ClockHz: clockHz, NoisePct: noisePct, Seed: seed}
+}
+
+// MeanMS returns the compiler's estimate for the duration of the
+// given number of compute cycles: the measured mean, with no jitter.
+func (m *Model) MeanMS(cyc int64) float64 {
+	return float64(cyc) / m.ClockHz * 1e3
+}
+
+// ActualMS returns the actual duration of the given number of
+// compute cycles at execution step `step`. The jitter is a
+// deterministic function of (Seed, step), so traces are reproducible.
+func (m *Model) ActualMS(cyc int64, step uint64) float64 {
+	return m.MeanMS(cyc) * m.JitterFactor(step)
+}
+
+// ActualMSIn returns the actual duration of the given number of
+// compute cycles at execution step `step` inside the given nest,
+// applying both the per-step jitter and the nest's systematic bias.
+func (m *Model) ActualMSIn(cyc int64, step uint64, nest int) float64 {
+	return m.MeanMS(cyc) * m.JitterFactor(step) * m.NestBias(nest)
+}
+
+// NestBias returns the systematic actual/estimated time ratio of the
+// given nest, in [1-BiasPct/100, 1+BiasPct/100], deterministic in
+// (Seed, nest).
+func (m *Model) NestBias(nest int) float64 {
+	if m.BiasPct == 0 {
+		return 1
+	}
+	u := splitmix64((m.Seed ^ 0xA5A5A5A5A5A5A5A5) + uint64(nest)*0xD1342543DE82EF95)
+	f := float64(int64(u>>11))/(1<<52) - 1
+	return 1 + f*m.BiasPct/100
+}
+
+// JitterFactor returns the multiplicative jitter applied at the given
+// step, in [1-NoisePct/100, 1+NoisePct/100].
+func (m *Model) JitterFactor(step uint64) float64 {
+	if m.NoisePct == 0 {
+		return 1
+	}
+	u := splitmix64(m.Seed + step*0x9E3779B97F4A7C15)
+	// Map to [-1, 1).
+	f := float64(int64(u>>11))/(1<<52) - 1
+	return 1 + f*m.NoisePct/100
+}
+
+// CyclesForMS returns the cycle count whose mean duration is the
+// given number of milliseconds, for calibrating workload statement
+// costs.
+func (m *Model) CyclesForMS(ms float64) int64 {
+	return int64(ms / 1e3 * m.ClockHz)
+}
+
+// splitmix64 is the SplitMix64 mixing function; a high-quality
+// stateless hash used for the deterministic jitter stream.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

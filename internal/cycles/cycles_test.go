@@ -1,0 +1,118 @@
+package cycles
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanMS(t *testing.T) {
+	m := New(750e6, 0, 1)
+	// 750k cycles at 750MHz = 1ms.
+	if got := m.MeanMS(750000); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("MeanMS = %g, want 1", got)
+	}
+	if got := m.MeanMS(0); got != 0 {
+		t.Errorf("MeanMS(0) = %g", got)
+	}
+}
+
+func TestCyclesForMSRoundTrip(t *testing.T) {
+	m := New(750e6, 0, 1)
+	for _, ms := range []float64{0.5, 1, 3.44, 10} {
+		cyc := m.CyclesForMS(ms)
+		if got := m.MeanMS(cyc); math.Abs(got-ms) > 1e-6 {
+			t.Errorf("round trip %vms -> %d cycles -> %vms", ms, cyc, got)
+		}
+	}
+}
+
+func TestZeroNoiseIsExact(t *testing.T) {
+	m := New(750e6, 0, 7)
+	for step := uint64(0); step < 100; step++ {
+		if m.JitterFactor(step) != 1 {
+			t.Fatal("zero noise jittered")
+		}
+		if m.ActualMS(1000, step) != m.MeanMS(1000) {
+			t.Fatal("actual != mean at zero noise")
+		}
+	}
+}
+
+func TestJitterBoundedAndCentered(t *testing.T) {
+	m := New(750e6, 20, 12345)
+	var sum float64
+	const n = 20000
+	for step := uint64(0); step < n; step++ {
+		f := m.JitterFactor(step)
+		if f < 0.8-1e-9 || f > 1.2+1e-9 {
+			t.Fatalf("jitter %g out of [0.8, 1.2]", f)
+		}
+		sum += f
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.01 {
+		t.Errorf("jitter mean %g not centered on 1", mean)
+	}
+}
+
+func TestJitterDeterministic(t *testing.T) {
+	a := New(750e6, 25, 9)
+	b := New(750e6, 25, 9)
+	for step := uint64(0); step < 50; step++ {
+		if a.JitterFactor(step) != b.JitterFactor(step) {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := New(750e6, 25, 10)
+	same := true
+	for step := uint64(0); step < 50; step++ {
+		if a.JitterFactor(step) != c.JitterFactor(step) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	m := New(0, -5, 1)
+	if m.ClockHz != DefaultClockHz {
+		t.Errorf("ClockHz default = %g", m.ClockHz)
+	}
+	if m.NoisePct != 0 {
+		t.Errorf("NoisePct = %g", m.NoisePct)
+	}
+}
+
+func TestNestBiasBoundedDeterministic(t *testing.T) {
+	m := New(750e6, 0, 11)
+	m.BiasPct = 25
+	for nest := 0; nest < 40; nest++ {
+		b := m.NestBias(nest)
+		if b < 0.75-1e-9 || b > 1.25+1e-9 {
+			t.Fatalf("bias %g out of range", b)
+		}
+		if b != m.NestBias(nest) {
+			t.Fatal("bias not deterministic")
+		}
+	}
+	// Different nests get different biases (at least some).
+	if m.NestBias(0) == m.NestBias(1) && m.NestBias(1) == m.NestBias(2) {
+		t.Error("all nest biases identical")
+	}
+	m.BiasPct = 0
+	if m.NestBias(3) != 1 {
+		t.Error("zero bias not identity")
+	}
+}
+
+func TestActualMSIn(t *testing.T) {
+	m := New(750e6, 0, 5)
+	m.BiasPct = 20
+	got := m.ActualMSIn(750000, 0, 7)
+	want := m.MeanMS(750000) * m.NestBias(7)
+	if got != want {
+		t.Errorf("ActualMSIn = %g, want %g", got, want)
+	}
+}

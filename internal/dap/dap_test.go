@@ -1,0 +1,103 @@
+package dap
+
+import (
+	"strings"
+	"testing"
+
+	"sdpm/internal/trace"
+	"sdpm/internal/tracegen"
+)
+
+func svc(int64) float64 { return 6.5 }
+
+func TestBuildBasic(t *testing.T) {
+	// Disk 0: requests at t=0 and t=10 (coalesced), then at t=500.
+	// Disk 1: never accessed.
+	sites := []tracegen.Site{
+		{Nest: 0, Iter: 0, Disk: 0, Bytes: 64, Kind: trace.Read},
+		{Nest: 0, Iter: 5, Disk: 0, Bytes: 64, Kind: trace.Read},
+		{Nest: 1, Iter: 3, Disk: 0, Bytes: 64, Kind: trace.Read},
+	}
+	issue := []float64{0, 10, 500}
+	d := Build(sites, issue, 2, svc, 50)
+
+	d0 := d.Disks[0]
+	// idle@start, active@(0,0), idle@(0,6), active@(1,3), idle@(1,4).
+	if len(d0) != 5 {
+		t.Fatalf("disk0 entries = %v", d0)
+	}
+	if d0[0].Stat != Idle || d0[0].Nest != 0 || d0[0].Iter != 0 {
+		t.Errorf("entry 0 = %+v", d0[0])
+	}
+	if d0[1].Stat != Active || d0[1].Nest != 0 || d0[1].Iter != 0 {
+		t.Errorf("entry 1 = %+v", d0[1])
+	}
+	if d0[2].Stat != Idle || d0[2].Nest != 0 || d0[2].Iter != 6 || d0[2].AtMS != 16.5 {
+		t.Errorf("entry 2 = %+v", d0[2])
+	}
+	if d0[3].Stat != Active || d0[3].Nest != 1 || d0[3].Iter != 3 || d0[3].AtMS != 500 {
+		t.Errorf("entry 3 = %+v", d0[3])
+	}
+	if d0[4].Stat != Idle || d0[4].AtMS != 506.5 {
+		t.Errorf("entry 4 = %+v", d0[4])
+	}
+	// Disk 1 is idle forever: a single entry.
+	if len(d.Disks[1]) != 1 || d.Disks[1][0].Stat != Idle {
+		t.Errorf("disk1 = %v", d.Disks[1])
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	sites := []tracegen.Site{
+		{Disk: 0}, {Disk: 0}, {Disk: 0},
+	}
+	for i := range sites {
+		sites[i].Bytes = 64
+	}
+	issue := []float64{0, 20, 40}
+	// Window 50: all one active interval.
+	d := Build(sites, issue, 1, svc, 50)
+	if len(d.Disks[0]) != 3 { // idle, active, idle
+		t.Fatalf("coalesced entries = %v", d.Disks[0])
+	}
+	// Window 5: three separate intervals.
+	d = Build(sites, issue, 1, svc, 5)
+	if len(d.Disks[0]) != 7 {
+		t.Fatalf("split entries = %v", d.Disks[0])
+	}
+}
+
+func TestIdleMS(t *testing.T) {
+	sites := []tracegen.Site{{Disk: 0, Bytes: 64, Iter: 0}}
+	issue := []float64{100}
+	d := Build(sites, issue, 1, svc, 50)
+	// Idle [0,100) + trailing idle [106.5, 200).
+	got := d.IdleMS(0, 200)
+	if got != 100+93.5 {
+		t.Errorf("IdleMS = %g", got)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	sites := []tracegen.Site{{Disk: 0, Bytes: 64, Nest: 2, Iter: 50}}
+	d := Build(sites, []float64{10}, 1, svc, 50)
+	out := d.Format(0)
+	if !strings.Contains(out, "< Nest 2, iteration 50, active >") {
+		t.Errorf("format output:\n%s", out)
+	}
+	all := d.String()
+	if !strings.Contains(all, "disk0:") {
+		t.Errorf("String output:\n%s", all)
+	}
+}
+
+func TestDefaultCoalesce(t *testing.T) {
+	sites := []tracegen.Site{{Disk: 0, Bytes: 64}}
+	d := Build(sites, []float64{0}, 1, svc, 0)
+	if len(d.Disks[0]) != 3 {
+		t.Fatalf("entries = %v", d.Disks[0])
+	}
+	if Idle.String() != "idle" || Active.String() != "active" {
+		t.Error("state strings")
+	}
+}

@@ -1,0 +1,327 @@
+package disk
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	p := DefaultParams()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	if p.MaxRPM != 15000 || p.MinRPM != 3000 || p.RPMStep != 1200 {
+		t.Errorf("RPM config = %d..%d/%d", p.MinRPM, p.MaxRPM, p.RPMStep)
+	}
+}
+
+func TestValidateCatches(t *testing.T) {
+	mod := []func(*Params){
+		func(p *Params) { p.MinRPM = 0 },
+		func(p *Params) { p.MinRPM = 20000 },
+		func(p *Params) { p.RPMStep = 0 },
+		func(p *Params) { p.RPMStep = 900 }, // does not divide range
+		func(p *Params) { p.TransferMBps = 0 },
+		func(p *Params) { p.ActiveW = 1 }, // below idle
+		func(p *Params) { p.StandbyW = -1 },
+		func(p *Params) { p.SpinUpJ = -5 },
+		func(p *Params) { p.RPMStepTimeMS = 0 },
+		func(p *Params) { p.WindowSize = 0 },
+		func(p *Params) { p.ElectronicsW = 99 },
+		func(p *Params) { p.SpindleExp = 0 },
+	}
+	for i, m := range mod {
+		p := DefaultParams()
+		m(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestLevels(t *testing.T) {
+	p := DefaultParams()
+	ls := p.Levels()
+	if len(ls) != 11 || p.NumLevels() != 11 {
+		t.Fatalf("levels = %v", ls)
+	}
+	if ls[0] != 3000 || ls[10] != 15000 || ls[1] != 4200 {
+		t.Errorf("levels = %v", ls)
+	}
+	for i, r := range ls {
+		if p.LevelIndex(r) != i {
+			t.Errorf("LevelIndex(%d) = %d, want %d", r, p.LevelIndex(r), i)
+		}
+	}
+	if p.LevelIndex(5000) != -1 || p.LevelIndex(2000) != -1 || p.LevelIndex(16000) != -1 {
+		t.Error("non-levels accepted")
+	}
+}
+
+func TestClampLevel(t *testing.T) {
+	p := DefaultParams()
+	cases := map[int]int{
+		16000: 15000, 15000: 15000, 14999: 13800,
+		4200: 4200, 4199: 3000, 3000: 3000, 100: 3000,
+	}
+	for in, want := range cases {
+		if got := p.ClampLevel(in); got != want {
+			t.Errorf("ClampLevel(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestPowerModelAnchors(t *testing.T) {
+	p := DefaultParams()
+	if got := p.IdlePowerAt(p.MaxRPM); math.Abs(got-p.IdleW) > 1e-9 {
+		t.Errorf("idle power at max = %.3f, want %.1f", got, p.IdleW)
+	}
+	if got := p.ActivePowerAt(p.MaxRPM); math.Abs(got-p.ActiveW) > 1e-9 {
+		t.Errorf("active power at max = %.3f, want %.1f", got, p.ActiveW)
+	}
+	// At the minimum level the disk should draw close to standby power
+	// (the published DRPM behaviour).
+	low := p.IdlePowerAt(p.MinRPM)
+	if low < p.ElectronicsW || low > 2*p.StandbyW {
+		t.Errorf("idle power at min RPM = %.3f, expected near standby %.1f", low, p.StandbyW)
+	}
+}
+
+func TestPowerMonotoneInRPM(t *testing.T) {
+	p := DefaultParams()
+	prev := -1.0
+	for _, r := range p.Levels() {
+		pw := p.IdlePowerAt(r)
+		if pw <= prev {
+			t.Fatalf("idle power not strictly increasing at %d RPM", r)
+		}
+		if p.ActivePowerAt(r) <= pw {
+			t.Fatalf("active power not above idle at %d RPM", r)
+		}
+		prev = pw
+	}
+}
+
+func TestServiceTime(t *testing.T) {
+	p := DefaultParams()
+	// 64KB at full speed: 3.4 + 2.0 + 65536/(55e6)*1e3 = 6.59ms.
+	got := p.ServiceTimeMS(p.MaxRPM, 64*1024)
+	want := 3.4 + 2.0 + 65536.0/55e6*1e3
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("service time = %.4f, want %.4f", got, want)
+	}
+	// Service time strictly decreases with RPM.
+	prev := math.Inf(1)
+	for _, r := range p.Levels() {
+		s := p.ServiceTimeMS(r, 64*1024)
+		if s >= prev {
+			t.Fatalf("service time not decreasing at %d RPM", r)
+		}
+		prev = s
+	}
+	// At half speed rotation and transfer take twice as long.
+	half := p.ServiceTimeMS(7500, 64*1024)
+	wantHalf := 3.4 + 4.0 + 2*65536.0/55e6*1e3
+	if math.Abs(half-wantHalf) > 1e-9 {
+		t.Errorf("half-speed service = %.4f, want %.4f", half, wantHalf)
+	}
+}
+
+func TestTransitionTime(t *testing.T) {
+	p := DefaultParams()
+	if got := p.TransitionTimeMS(15000, 15000); got != 0 {
+		t.Errorf("no-op transition time = %f", got)
+	}
+	if got := p.TransitionTimeMS(15000, 13800); got != p.RPMStepTimeMS {
+		t.Errorf("one-step time = %f", got)
+	}
+	if got := p.TransitionTimeMS(3000, 15000); got != 10*p.RPMStepTimeMS {
+		t.Errorf("full-range time = %f", got)
+	}
+	if p.TransitionTimeMS(3000, 15000) != p.TransitionTimeMS(15000, 3000) {
+		t.Error("transition time not symmetric")
+	}
+}
+
+func TestTransitionEnergy(t *testing.T) {
+	p := DefaultParams()
+	if p.TransitionEnergyJ(9000, 9000) != 0 {
+		t.Error("no-op transition energy nonzero")
+	}
+	// Symmetric by construction (billed at the faster level per step).
+	if p.TransitionEnergyJ(3000, 15000) != p.TransitionEnergyJ(15000, 3000) {
+		t.Error("transition energy not symmetric")
+	}
+	// One step down from max is billed at full idle power.
+	want := p.IdleW * p.RPMStepTimeMS / 1e3
+	if got := p.TransitionEnergyJ(15000, 13800); math.Abs(got-want) > 1e-12 {
+		t.Errorf("one-step energy = %g, want %g", got, want)
+	}
+	// Energy is additive over sub-ranges.
+	whole := p.TransitionEnergyJ(15000, 3000)
+	split := p.TransitionEnergyJ(15000, 9000) + p.TransitionEnergyJ(9000, 3000)
+	if math.Abs(whole-split) > 1e-12 {
+		t.Errorf("transition energy not additive: %g vs %g", whole, split)
+	}
+}
+
+func TestTPMBreakEven(t *testing.T) {
+	p := DefaultParams()
+	be := p.TPMBreakEvenMS()
+	// Must at least cover the physical transition time.
+	if be < p.SpinDownMS+p.SpinUpMS {
+		t.Fatalf("break-even %.0fms below transition time", be)
+	}
+	// At exactly the break-even, standby is no better than idling.
+	if p.StandbyEnergyJ(be) > p.IdleEnergyJ(be)+1e-6 {
+		t.Errorf("standby loses at break-even: %.3f > %.3f", p.StandbyEnergyJ(be), p.IdleEnergyJ(be))
+	}
+	// Just below, standby must not win.
+	if p.StandbyEnergyJ(be*0.9) < p.IdleEnergyJ(be*0.9) {
+		t.Errorf("standby wins below break-even")
+	}
+	// Well above, standby must win clearly.
+	if p.StandbyEnergyJ(be*3) >= p.IdleEnergyJ(be*3) {
+		t.Errorf("standby does not win above break-even")
+	}
+	// The server-class break-even is huge (order 10s of seconds) —
+	// this is the fact that makes TPM useless for the paper's codes.
+	if be < 10000 {
+		t.Errorf("break-even %.0fms implausibly small for server disk", be)
+	}
+}
+
+func TestDipEnergy(t *testing.T) {
+	p := DefaultParams()
+	// Dipping to max RPM is just idling.
+	if got := p.DipEnergyJ(100, p.MaxRPM); math.Abs(got-p.IdleEnergyJ(100)) > 1e-12 {
+		t.Errorf("dip to max = %g", got)
+	}
+	// Too-short period is infeasible.
+	if !math.IsInf(p.DipEnergyJ(1, 3000), 1) {
+		t.Error("infeasible dip accepted")
+	}
+	// A 73ms gap (the default workloads' per-disk gap) must be
+	// exploitable: some level beats full-speed idling by a wide
+	// margin. This property is what makes (I)DRPM effective in the
+	// paper.
+	best, e := p.BestRPMForIdle(73)
+	if best == p.MaxRPM {
+		t.Fatal("73ms gap not exploitable by DRPM")
+	}
+	if e > 0.75*p.IdleEnergyJ(73) {
+		t.Errorf("73ms dip saves too little: %.3fJ vs %.3fJ", e, p.IdleEnergyJ(73))
+	}
+}
+
+func TestBestRPMMonotoneIdle(t *testing.T) {
+	// Longer idle periods never prefer a faster level, and the best
+	// energy is always <= plain idling.
+	p := DefaultParams()
+	prevRPM := p.MaxRPM + p.RPMStep
+	for _, idle := range []float64{1, 5, 10, 20, 40, 80, 160, 320, 640, 5000} {
+		r, e := p.BestRPMForIdle(idle)
+		if r > prevRPM {
+			t.Fatalf("best RPM increased with idle length at %v", idle)
+		}
+		if e > p.IdleEnergyJ(idle)+1e-12 {
+			t.Fatalf("best energy exceeds idling at %v", idle)
+		}
+		prevRPM = r
+	}
+}
+
+func TestBestRPMQuick(t *testing.T) {
+	p := DefaultParams()
+	f := func(ms uint16) bool {
+		idle := float64(ms)
+		r, e := p.BestRPMForIdle(idle)
+		if p.LevelIndex(r) < 0 {
+			return false
+		}
+		// Reported energy must match recomputation and be minimal.
+		if r != p.MaxRPM && math.Abs(e-p.DipEnergyJ(idle, r)) > 1e-9 {
+			return false
+		}
+		for _, l := range p.Levels() {
+			if p.DipEnergyJ(idle, l) < e-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestRPMForTrailingIdle(t *testing.T) {
+	p := DefaultParams()
+	// Tiny trailing idle: stay at max.
+	if r, e := p.BestRPMForTrailingIdle(0.5); r != p.MaxRPM || math.Abs(e-p.IdleEnergyJ(0.5)) > 1e-12 {
+		t.Errorf("tiny trailing: %d %g", r, e)
+	}
+	// Long trailing idle: go to the minimum level (no return needed).
+	r, e := p.BestRPMForTrailingIdle(10000)
+	if r != p.MinRPM {
+		t.Errorf("long trailing level = %d", r)
+	}
+	if e >= p.IdleEnergyJ(10000) {
+		t.Error("trailing dip saves nothing")
+	}
+	// One-way dips beat round trips for the same period.
+	_, round := p.BestRPMForIdle(200)
+	_, oneway := p.BestRPMForTrailingIdle(200)
+	if oneway >= round {
+		t.Errorf("one-way %g not cheaper than round trip %g", oneway, round)
+	}
+}
+
+func TestTrailingStandbyWins(t *testing.T) {
+	p := DefaultParams()
+	if p.TrailingStandbyWins(1000) {
+		t.Error("standby wins below spin-down time")
+	}
+	if !p.TrailingStandbyWins(60000) {
+		t.Error("standby loses on a minute of idleness")
+	}
+	// Break-even for one-way standby: solve SpinDownJ + StandbyW*(T-d) = IdleW*T.
+	be := (p.SpinDownJ - p.StandbyW*p.SpinDownMS/1e3) / (p.IdleW - p.StandbyW) * 1e3
+	if p.TrailingStandbyWins(be * 0.9) {
+		t.Error("standby wins below one-way break-even")
+	}
+	if !p.TrailingStandbyWins(be*1.1 + p.SpinDownMS) {
+		t.Error("standby loses above one-way break-even")
+	}
+}
+
+func TestSeekTimeMS(t *testing.T) {
+	p := DefaultParams()
+	maxB := p.CapacityBlocks()
+	if maxB <= 0 {
+		t.Fatal("capacity blocks")
+	}
+	if p.SeekTimeMS(0, maxB) != 0 {
+		t.Error("zero distance seeks")
+	}
+	if p.SeekTimeMS(100, 0) != 0 {
+		t.Error("zero capacity seeks")
+	}
+	// Full stroke = SeekMaxMS; clamped beyond.
+	if got := p.SeekTimeMS(maxB, maxB); math.Abs(got-p.SeekMaxMS) > 1e-9 {
+		t.Errorf("full stroke = %g", got)
+	}
+	if got := p.SeekTimeMS(2*maxB, maxB); math.Abs(got-p.SeekMaxMS) > 1e-9 {
+		t.Errorf("clamped stroke = %g", got)
+	}
+	// Monotone in distance.
+	prev := 0.0
+	for _, d := range []int64{1, maxB / 100, maxB / 10, maxB / 2, maxB} {
+		got := p.SeekTimeMS(d, maxB)
+		if got <= prev {
+			t.Fatalf("seek not increasing at %d", d)
+		}
+		prev = got
+	}
+}

@@ -1,0 +1,73 @@
+package dsl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sdpm/internal/ir"
+	"sdpm/internal/trace"
+)
+
+// CallSite is a power-management call anchored in iteration space,
+// mirroring insert.Call without importing it (dsl stays independent
+// of the compiler backend).
+type CallSite struct {
+	Nest int
+	Iter int64
+	Op   trace.PowerOp
+}
+
+// maxCallsPerNest bounds the annotation volume per nest.
+const maxCallsPerNest = 12
+
+// FormatAnnotated renders the program in the DSL with the inserted
+// power-management calls shown as comments inside each nest — the
+// paper's Figure 2(d) view of the compiler-modified code.
+func FormatAnnotated(p *ir.Program, calls []CallSite) string {
+	byNest := make(map[int][]CallSite)
+	for _, c := range calls {
+		byNest[c.Nest] = append(byNest[c.Nest], c)
+	}
+	for n := range byNest {
+		sort.SliceStable(byNest[n], func(a, b int) bool { return byNest[n][a].Iter < byNest[n][b].Iter })
+	}
+	text := Format(p)
+	var out strings.Builder
+	nest := -1
+	for _, line := range strings.Split(text, "\n") {
+		out.WriteString(line)
+		out.WriteString("\n")
+		if strings.HasPrefix(line, "nest ") {
+			nest++
+			cs := byNest[nest]
+			if len(cs) == 0 {
+				continue
+			}
+			shown := cs
+			if len(shown) > maxCallsPerNest {
+				shown = shown[:maxCallsPerNest]
+			}
+			for _, c := range shown {
+				out.WriteString("  # ")
+				out.WriteString(formatCall(c))
+				out.WriteString("\n")
+			}
+			if extra := len(cs) - len(shown); extra > 0 {
+				fmt.Fprintf(&out, "  # ... %d more power calls\n", extra)
+			}
+		}
+	}
+	return strings.TrimRight(out.String(), "\n") + "\n"
+}
+
+func formatCall(c CallSite) string {
+	switch c.Op.Kind {
+	case trace.OpSetRPM:
+		return fmt.Sprintf("set_RPM(%d, disk%d) near iteration %d", c.Op.RPM, c.Op.Disk, c.Iter)
+	case trace.OpSpinDown:
+		return fmt.Sprintf("spin_down(disk%d) near iteration %d", c.Op.Disk, c.Iter)
+	default:
+		return fmt.Sprintf("spin_up(disk%d) near iteration %d", c.Op.Disk, c.Iter)
+	}
+}

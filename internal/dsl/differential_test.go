@@ -1,0 +1,54 @@
+package dsl
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdpm/internal/progen"
+)
+
+// TestRoundTripGenerated formats randomly generated programs and
+// parses them back: the round trip must preserve structure exactly.
+func TestRoundTripGenerated(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 150; trial++ {
+		p := progen.Generate(rng, progen.DefaultOptions())
+		text := Format(p)
+		q, err := Parse(text)
+		if err != nil {
+			t.Fatalf("trial %d: re-parse: %v\n%s", trial, err, text)
+		}
+		if Format(q) != text {
+			t.Fatalf("trial %d: format not a fixed point", trial)
+		}
+		if q.TotalCost() != p.TotalCost() || q.TotalBytes() != p.TotalBytes() {
+			t.Fatalf("trial %d: totals changed", trial)
+		}
+		if len(q.Nests) != len(p.Nests) {
+			t.Fatalf("trial %d: nest count changed", trial)
+		}
+		for ni, n := range p.Nests {
+			qn := q.Nests[ni]
+			if n.Trips() != qn.Trips() || len(n.Stmts) != len(qn.Stmts) {
+				t.Fatalf("trial %d nest %d: shape changed", trial, ni)
+			}
+			// Spot-check subscript semantics at a few iterations.
+			trips := n.Trips()
+			for _, it := range []int64{0, trips / 2, trips - 1} {
+				if it < 0 || trips == 0 {
+					continue
+				}
+				iv := n.IndexOf(it)
+				for si, s := range n.Stmts {
+					for ri := range s.Refs {
+						a := s.Refs[ri].OffsetAt(iv)
+						b := qn.Stmts[si].Refs[ri].OffsetAt(iv)
+						if a != b {
+							t.Fatalf("trial %d: offset mismatch after round trip", trial)
+						}
+					}
+				}
+			}
+		}
+	}
+}

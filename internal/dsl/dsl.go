@@ -1,0 +1,118 @@
+// Package dsl defines a small text format for the loop-nest IR, so
+// workloads can be authored, inspected, and fed to the command-line
+// compiler without writing Go. The format mirrors the IR directly:
+//
+//	program swim
+//
+//	array u[1024][1024] elem 8 rowmajor
+//	array v[1024][1024]
+//
+//	nest calc1 {
+//	  for i = 0..1024
+//	  for j = 0..1024 step 1
+//	  do cost 300 {
+//	    read  u[i][j]
+//	    read  u[i+1][j]
+//	    write v[2*j+1][i]
+//	  }
+//	}
+//
+// Arrays default to 8-byte elements in row-major order; an optional
+// `block [b0][b1]` clause selects a blocked (tiled) layout.
+// Subscripts are affine expressions over the enclosing loop
+// variables: sums of `k*var`, `var`, and integer terms.
+package dsl
+
+import (
+	"fmt"
+	"strings"
+
+	"sdpm/internal/ir"
+)
+
+// Format renders a program in the DSL text format; Parse inverts it.
+func Format(p *ir.Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+	for _, a := range p.Arrays {
+		fmt.Fprintf(&b, "\narray %s", a.Name)
+		for _, d := range a.Dims {
+			fmt.Fprintf(&b, "[%d]", d)
+		}
+		fmt.Fprintf(&b, " elem %d", a.ElemSize)
+		if a.RowMajor {
+			b.WriteString(" rowmajor")
+		} else {
+			b.WriteString(" colmajor")
+		}
+		if a.Block != nil {
+			b.WriteString(" block ")
+			for _, d := range a.Block {
+				fmt.Fprintf(&b, "[%d]", d)
+			}
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range p.Nests {
+		fmt.Fprintf(&b, "\nnest %s {\n", n.Label)
+		for _, l := range n.Loops {
+			fmt.Fprintf(&b, "  for %s = %d..%d", l.Name, l.Lo, l.Hi)
+			if l.Step != 1 {
+				fmt.Fprintf(&b, " step %d", l.Step)
+			}
+			b.WriteString("\n")
+		}
+		for _, s := range n.Stmts {
+			fmt.Fprintf(&b, "  do cost %d {\n", s.Cost)
+			for _, r := range s.Refs {
+				kw := "read "
+				if r.Kind == ir.Write {
+					kw = "write"
+				}
+				fmt.Fprintf(&b, "    %s %s", kw, r.Array.Name)
+				for _, e := range r.Index {
+					fmt.Fprintf(&b, "[%s]", formatExpr(e, n.Loops))
+				}
+				b.WriteString("\n")
+			}
+			b.WriteString("  }\n")
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+// formatExpr renders an affine expression using the nest's loop
+// variable names.
+func formatExpr(e ir.Expr, loops []ir.Loop) string {
+	var parts []string
+	for d, c := range e.Coeffs {
+		if c == 0 {
+			continue
+		}
+		name := fmt.Sprintf("i%d", d)
+		if d < len(loops) && loops[d].Name != "" {
+			name = loops[d].Name
+		}
+		switch c {
+		case 1:
+			parts = append(parts, name)
+		case -1:
+			parts = append(parts, "-"+name)
+		default:
+			parts = append(parts, fmt.Sprintf("%d*%s", c, name))
+		}
+	}
+	if e.Const != 0 || len(parts) == 0 {
+		parts = append(parts, fmt.Sprintf("%d", e.Const))
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		if strings.HasPrefix(p, "-") {
+			out += p
+		} else {
+			out += "+" + p
+		}
+	}
+	return out
+}

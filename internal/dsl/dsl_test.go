@@ -1,0 +1,232 @@
+package dsl
+
+import (
+	"strings"
+	"testing"
+
+	"sdpm/internal/ir"
+	"sdpm/internal/trace"
+	"sdpm/internal/workloads"
+)
+
+const sample = `
+program demo
+
+# twelve 8MB fields
+array u[64][64] elem 8 rowmajor
+array v[64][64] colmajor
+array w[4096]
+array t[64][64] block [16][16]
+
+nest sweep {
+  for i = 0..64
+  for j = 0..64
+  do cost 300 {
+    read  u[i][j]
+    read  u[i+1][-j+63]
+    write v[j][i]
+    write w[2*i+1]
+  }
+  do cost 50 { read t[i][j] }
+}
+
+nest strided {
+  for k = 2..62 step 2
+  do cost 10 { read w[k-1] }
+}
+`
+
+func TestParseBasics(t *testing.T) {
+	p, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "demo" || len(p.Arrays) != 4 || len(p.Nests) != 2 {
+		t.Fatalf("shape: %s %d arrays %d nests", p.Name, len(p.Arrays), len(p.Nests))
+	}
+	u := p.ArrayByName("u")
+	if u.ElemSize != 8 || !u.RowMajor || u.Dims[0] != 64 {
+		t.Errorf("u = %+v", u)
+	}
+	if p.ArrayByName("v").RowMajor {
+		t.Error("v not colmajor")
+	}
+	if p.ArrayByName("w").ElemSize != 8 {
+		t.Error("w elem default")
+	}
+	tt := p.ArrayByName("t")
+	if tt.Block == nil || tt.Block[0] != 16 {
+		t.Errorf("t block = %v", tt.Block)
+	}
+	n := p.Nests[0]
+	if n.Label != "sweep" || n.Depth() != 2 || len(n.Stmts) != 2 {
+		t.Fatalf("nest = %+v", n)
+	}
+	if n.Stmts[0].Cost != 300 || len(n.Stmts[0].Refs) != 4 {
+		t.Errorf("stmt0 = %+v", n.Stmts[0])
+	}
+	// Check parsed expressions: u[i+1][-j+63].
+	r := n.Stmts[0].Refs[1]
+	if got := r.Index[0].Eval([]int64{5, 7}); got != 6 {
+		t.Errorf("i+1 at (5,7) = %d", got)
+	}
+	if got := r.Index[1].Eval([]int64{5, 7}); got != 56 {
+		t.Errorf("-j+63 at (5,7) = %d", got)
+	}
+	// w[2*i+1].
+	r = n.Stmts[0].Refs[3]
+	if got := r.Index[0].Eval([]int64{5, 7}); got != 11 {
+		t.Errorf("2*i+1 = %d", got)
+	}
+	// Strided loop.
+	l := p.Nests[1].Loops[0]
+	if l.Lo != 2 || l.Hi != 62 || l.Step != 2 {
+		t.Errorf("loop = %+v", l)
+	}
+	// w[k-1].
+	if got := p.Nests[1].Stmts[0].Refs[0].Index[0].Eval([]int64{10}); got != 9 {
+		t.Errorf("k-1 at 10 = %d", got)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	p, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(p)
+	q, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, text)
+	}
+	if Format(q) != text {
+		t.Errorf("format not stable:\n%s\nvs\n%s", text, Format(q))
+	}
+}
+
+func TestRoundTripWorkloads(t *testing.T) {
+	// Every built-in benchmark survives format -> parse -> format.
+	for _, b := range workloads.All() {
+		text := Format(b.Program)
+		q, err := Parse(text)
+		if err != nil {
+			t.Fatalf("%s: re-parse: %v", b.Name, err)
+		}
+		if Format(q) != text {
+			t.Errorf("%s: format not stable", b.Name)
+		}
+		if q.TotalCost() != b.Program.TotalCost() {
+			t.Errorf("%s: cost changed", b.Name)
+		}
+		if q.TotalBytes() != b.Program.TotalBytes() {
+			t.Errorf("%s: bytes changed", b.Name)
+		}
+		if len(q.Nests) != len(b.Program.Nests) {
+			t.Errorf("%s: nest count changed", b.Name)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                  // no program
+		"program",                           // missing name
+		"program p array",                   // missing array name
+		"program p array a",                 // missing dims
+		"program p array a[0",               // unclosed dim
+		"program p nest n { }",              // no loops
+		"program p nest n { for i = 0..4 }", // no statements
+		"program p nest n { for i = 0..4 do { } }",                                   // empty stmt
+		"program p nest n { for i = 0..4 do { read a[i] } }",                         // undeclared array
+		"program p array a[4] nest n { for i = 0..4 do { read a[q] } }",              // unknown var
+		"program p array a[4] nest n { for i = 0..4 for i = 0..2 do { read a[i] } }", // dup var
+		"program p array a[4] array a[4]",                                            // dup array
+		"program p bogus",                                                            // unknown decl
+		"program p array a[4] nest n { for i = 0..x do { read a[i] } }",              // bad bound
+	}
+	for i, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("case %d accepted: %q", i, src)
+		}
+	}
+}
+
+func TestParseValidates(t *testing.T) {
+	// Structurally parsable but semantically invalid (subscript rank).
+	src := "program p array a[4][4] nest n { for i = 0..4 do { read a[i] } }"
+	if _, err := Parse(src); err == nil {
+		t.Error("rank mismatch accepted")
+	}
+}
+
+func TestFormatExprFallbacks(t *testing.T) {
+	// Expressions over loops beyond the named set still render.
+	e := ir.Var(0).Times(-1)
+	got := formatExpr(e, nil)
+	if got != "-i0" {
+		t.Errorf("formatExpr = %q", got)
+	}
+	if formatExpr(ir.Cnst(0), nil) != "0" {
+		t.Error("zero expr")
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := "program p # trailing comment\narray a[4]\nnest n {\n for i = 0..4\n do { read a[i] }\n}\n"
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(Format(mustParse(t, src)), "program p") {
+		t.Error("format lost name")
+	}
+}
+
+func mustParse(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFormatAnnotated(t *testing.T) {
+	p := mustParse(t, "program p\narray a[4]\narray b[4]\nnest n0 { for i = 0..4 do { read a[i] } }\nnest n1 { for i = 0..4 do { read b[i] } }\n")
+	calls := []CallSite{
+		{Nest: 1, Iter: 2, Op: trace.PowerOp{Disk: 3, Kind: trace.OpSpinUp}},
+		{Nest: 0, Iter: 0, Op: trace.PowerOp{Disk: 1, Kind: trace.OpSetRPM, RPM: 4200}},
+		{Nest: 0, Iter: 3, Op: trace.PowerOp{Disk: 2, Kind: trace.OpSpinDown}},
+	}
+	out := FormatAnnotated(p, calls)
+	// Calls land inside their nests, sorted by iteration.
+	n0 := strings.Index(out, "nest n0")
+	n1 := strings.Index(out, "nest n1")
+	setIdx := strings.Index(out, "set_RPM(4200, disk1) near iteration 0")
+	downIdx := strings.Index(out, "spin_down(disk2) near iteration 3")
+	upIdx := strings.Index(out, "spin_up(disk3) near iteration 2")
+	if setIdx < n0 || setIdx > n1 || downIdx < setIdx || downIdx > n1 {
+		t.Fatalf("nest 0 calls misplaced:\n%s", out)
+	}
+	if upIdx < n1 {
+		t.Fatalf("nest 1 call misplaced:\n%s", out)
+	}
+	// Annotated output with many calls truncates.
+	var many []CallSite
+	for i := 0; i < 40; i++ {
+		many = append(many, CallSite{Nest: 0, Iter: int64(i), Op: trace.PowerOp{Disk: 0, Kind: trace.OpSpinUp}})
+	}
+	out = FormatAnnotated(p, many)
+	if !strings.Contains(out, "more power calls") {
+		t.Error("no truncation marker")
+	}
+	// The annotated text minus comments still parses.
+	var clean []string
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "#") {
+			clean = append(clean, line)
+		}
+	}
+	if _, err := Parse(strings.Join(clean, "\n")); err != nil {
+		t.Fatalf("stripped annotation does not parse: %v", err)
+	}
+}

@@ -1,0 +1,31 @@
+package dsl
+
+import "testing"
+
+// FuzzParse exercises the DSL parser with arbitrary inputs: it must
+// never panic, and anything it accepts must survive a
+// format-and-reparse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("program p array a[4] nest n { for i = 0..4 do { read a[i] } }")
+	f.Add("program p array a[4][4] block [2][2] nest n { for i = 0..4 for j = 0..4 do cost 5 { write a[i][j] } }")
+	f.Add("program p # comment\narray a[8] colmajor elem 4 nest n { for k = 2..8 step 2 do { read a[-k+7] } }")
+	f.Add("program p array a[4] nest n { for i = 0..4 do { read a[2*i-0] } }")
+	f.Add("")
+	f.Add("program")
+	f.Add("}}}}]]]][[[")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := Format(p)
+		q, err := Parse(text)
+		if err != nil {
+			t.Fatalf("formatted output failed to reparse: %v\n%s", err, text)
+		}
+		if Format(q) != text {
+			t.Fatalf("format not a fixed point:\n%s\nvs\n%s", text, Format(q))
+		}
+	})
+}

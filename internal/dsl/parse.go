@@ -1,0 +1,400 @@
+package dsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"sdpm/internal/ir"
+)
+
+// Parse reads a program in the DSL text format.
+func Parse(src string) (*ir.Program, error) {
+	p := &parser{toks: lex(src)}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type token struct {
+	kind string // "ident", "int", "punct", "eof"
+	text string
+	line int
+}
+
+func lex(src string) []token {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{"ident", src[i:j], line})
+			i = j
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{"int", src[i:j], line})
+			i = j
+		case strings.ContainsRune("[]{}=*+-.", rune(c)):
+			// ".." is one token.
+			if c == '.' && i+1 < len(src) && src[i+1] == '.' {
+				toks = append(toks, token{"punct", "..", line})
+				i += 2
+			} else {
+				toks = append(toks, token{"punct", string(c), line})
+				i++
+			}
+		default:
+			toks = append(toks, token{"punct", string(c), line})
+			i++
+		}
+	}
+	toks = append(toks, token{"eof", "", line})
+	return toks
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(text string) bool {
+	t := p.peek()
+	return t.text == text && t.kind != "eof"
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("dsl: line %d: %s", p.peek().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(text string) error {
+	if !p.at(text) {
+		return p.errf("expected %q, got %q", text, p.peek().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != "ident" {
+		return "", p.errf("expected identifier, got %q", t.text)
+	}
+	p.next()
+	return t.text, nil
+}
+
+func (p *parser) integer() (int64, error) {
+	neg := false
+	if p.at("-") {
+		neg = true
+		p.next()
+	}
+	t := p.peek()
+	if t.kind != "int" {
+		return 0, p.errf("expected integer, got %q", t.text)
+	}
+	p.next()
+	v, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, p.errf("bad integer %q", t.text)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *parser) program() (*ir.Program, error) {
+	if err := p.expect("program"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	prog := &ir.Program{Name: name}
+	arrays := map[string]*ir.Array{}
+	for {
+		switch {
+		case p.at("array"):
+			a, err := p.array()
+			if err != nil {
+				return nil, err
+			}
+			if arrays[a.Name] != nil {
+				return nil, p.errf("duplicate array %q", a.Name)
+			}
+			arrays[a.Name] = a
+			prog.Arrays = append(prog.Arrays, a)
+		case p.at("nest"):
+			n, err := p.nest(arrays)
+			if err != nil {
+				return nil, err
+			}
+			prog.Nests = append(prog.Nests, n)
+		case p.peek().kind == "eof":
+			return prog, nil
+		default:
+			return nil, p.errf("expected 'array', 'nest', or end of file, got %q", p.peek().text)
+		}
+	}
+}
+
+func (p *parser) dims() ([]int64, error) {
+	var out []int64
+	for p.at("[") {
+		p.next()
+		v, err := p.integer()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	}
+	if len(out) == 0 {
+		return nil, p.errf("expected at least one [dim]")
+	}
+	return out, nil
+}
+
+func (p *parser) array() (*ir.Array, error) {
+	p.next() // "array"
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	dims, err := p.dims()
+	if err != nil {
+		return nil, err
+	}
+	a := &ir.Array{Name: name, Dims: dims, ElemSize: 8, RowMajor: true}
+	for {
+		switch {
+		case p.at("elem"):
+			p.next()
+			if a.ElemSize, err = p.integer(); err != nil {
+				return nil, err
+			}
+		case p.at("rowmajor"):
+			p.next()
+			a.RowMajor = true
+		case p.at("colmajor"):
+			p.next()
+			a.RowMajor = false
+		case p.at("block"):
+			p.next()
+			if a.Block, err = p.dims(); err != nil {
+				return nil, err
+			}
+		default:
+			return a, nil
+		}
+	}
+}
+
+func (p *parser) nest(arrays map[string]*ir.Array) (*ir.Nest, error) {
+	p.next() // "nest"
+	label, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	n := &ir.Nest{Label: label}
+	vars := map[string]int{}
+	for p.at("for") {
+		p.next()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := vars[name]; dup {
+			return nil, p.errf("duplicate loop variable %q", name)
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		lo, err := p.integer()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(".."); err != nil {
+			return nil, err
+		}
+		hi, err := p.integer()
+		if err != nil {
+			return nil, err
+		}
+		step := int64(1)
+		if p.at("step") {
+			p.next()
+			if step, err = p.integer(); err != nil {
+				return nil, err
+			}
+		}
+		vars[name] = len(n.Loops)
+		n.Loops = append(n.Loops, ir.Loop{Name: name, Lo: lo, Hi: hi, Step: step})
+	}
+	if len(n.Loops) == 0 {
+		return nil, p.errf("nest %q has no loops", label)
+	}
+	for p.at("do") {
+		s, err := p.stmt(arrays, vars)
+		if err != nil {
+			return nil, err
+		}
+		n.Stmts = append(n.Stmts, s)
+	}
+	if err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	if len(n.Stmts) == 0 {
+		return nil, fmt.Errorf("dsl: nest %q has no statements", label)
+	}
+	return n, nil
+}
+
+func (p *parser) stmt(arrays map[string]*ir.Array, vars map[string]int) (*ir.Stmt, error) {
+	p.next() // "do"
+	s := &ir.Stmt{}
+	if p.at("cost") {
+		p.next()
+		c, err := p.integer()
+		if err != nil {
+			return nil, err
+		}
+		s.Cost = c
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for p.at("read") || p.at("write") {
+		kind := ir.Read
+		if p.peek().text == "write" {
+			kind = ir.Write
+		}
+		p.next()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		a := arrays[name]
+		if a == nil {
+			return nil, p.errf("reference to undeclared array %q", name)
+		}
+		var idx []ir.Expr
+		for p.at("[") {
+			p.next()
+			e, err := p.expr(vars)
+			if err != nil {
+				return nil, err
+			}
+			idx = append(idx, e)
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+		}
+		s.Refs = append(s.Refs, ir.Ref{Array: a, Index: idx, Kind: kind})
+	}
+	if err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	if len(s.Refs) == 0 {
+		return nil, fmt.Errorf("dsl: statement with no references")
+	}
+	return s, nil
+}
+
+// expr parses an affine expression: term (("+"|"-") term)*.
+func (p *parser) expr(vars map[string]int) (ir.Expr, error) {
+	e, err := p.term(vars, false)
+	if err != nil {
+		return ir.Expr{}, err
+	}
+	for p.at("+") || p.at("-") {
+		negate := p.peek().text == "-"
+		p.next()
+		t, err := p.term(vars, negate)
+		if err != nil {
+			return ir.Expr{}, err
+		}
+		e = e.Add(t)
+	}
+	return e, nil
+}
+
+// term parses [INT "*"] IDENT | INT | "-" term.
+func (p *parser) term(vars map[string]int, negate bool) (ir.Expr, error) {
+	if p.at("-") {
+		p.next()
+		t, err := p.term(vars, !negate)
+		if err != nil {
+			return ir.Expr{}, err
+		}
+		return t, nil
+	}
+	sign := int64(1)
+	if negate {
+		sign = -1
+	}
+	t := p.peek()
+	switch t.kind {
+	case "int":
+		p.next()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return ir.Expr{}, p.errf("bad integer %q", t.text)
+		}
+		if p.at("*") {
+			p.next()
+			name, err := p.ident()
+			if err != nil {
+				return ir.Expr{}, err
+			}
+			d, ok := vars[name]
+			if !ok {
+				return ir.Expr{}, p.errf("unknown loop variable %q", name)
+			}
+			return ir.Var(d).Times(sign * v), nil
+		}
+		return ir.Cnst(sign * v), nil
+	case "ident":
+		p.next()
+		d, ok := vars[t.text]
+		if !ok {
+			return ir.Expr{}, p.errf("unknown loop variable %q", t.text)
+		}
+		return ir.Var(d).Times(sign), nil
+	default:
+		return ir.Expr{}, p.errf("expected expression term, got %q", t.text)
+	}
+}

@@ -1,0 +1,315 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sdpm/internal/core"
+	"sdpm/internal/sim"
+	"sdpm/internal/stats"
+	"sdpm/internal/workloads"
+	"sdpm/internal/xform"
+)
+
+// AblationPreactivation quantifies the value of the pre-activation
+// calls (Equation 1): CMDRPM energy and time with and without them,
+// normalized to base. Without pre-activation, every access after a
+// power-down pays the wake-up latency on demand.
+func (s *Suite) AblationPreactivation() (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Ablation: pre-activation (normalized energy | time)",
+		Columns: []string{"CMDRPM-E", "CMDRPM-T", "noPre-E", "noPre-T"},
+	}
+	for _, b := range s.Benchmarks {
+		cfg := s.configFor(b)
+		in, err := core.Prepare(b.Name, b.Program, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		base, err := in.Run(core.Base)
+		if err != nil {
+			return nil, err
+		}
+		on, err := in.Run(core.CMDRPM)
+		if err != nil {
+			return nil, err
+		}
+		cfg.DisablePreactivation = true
+		inOff, err := core.Prepare(b.Name, b.Program, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		off, err := inOff.Run(core.CMDRPM)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(b.Name,
+			on.EnergyJ/base.EnergyJ, on.ExecMS/base.ExecMS,
+			off.EnergyJ/base.EnergyJ, off.ExecMS/base.ExecMS)
+	}
+	return t.WithMeanRow(), nil
+}
+
+// AblationNoise sweeps the cycle-estimation bias on one benchmark and
+// reports the resulting misprediction rate and the CMDRPM energy and
+// time (normalized) — the mechanism behind Table 3.
+func (s *Suite) AblationNoise(benchName string, biasLevels []float64) (*stats.Table, error) {
+	if len(biasLevels) == 0 {
+		biasLevels = []float64{0, 10, 20, 40}
+	}
+	b, err := workloads.ByName(benchName)
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title:     "Ablation: cycle-estimation bias vs misprediction (" + b.Name + ")",
+		Columns:   []string{"mispredict%", "CMDRPM-E", "CMDRPM-T"},
+		Precision: 3,
+	}
+	for _, bias := range biasLevels {
+		cfg := s.configFor(b)
+		m := b.Model()
+		m.BiasPct = bias
+		cfg.Model = m
+		in, err := core.Prepare(b.Name, b.Program, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		base, err := in.Run(core.Base)
+		if err != nil {
+			return nil, err
+		}
+		cm, err := in.Run(core.CMDRPM)
+		if err != nil {
+			return nil, err
+		}
+		st, err := in.Mispredictions()
+		if err != nil {
+			return nil, err
+		}
+		t.Add(fmt.Sprintf("bias %g%%", bias), st.Pct, cm.EnergyJ/base.EnergyJ, cm.ExecMS/base.ExecMS)
+	}
+	return t, nil
+}
+
+// AblationCache compares request counts and base energy with and
+// without the buffer cache; without it every stripe-unit touch
+// becomes a disk request.
+func (s *Suite) AblationCache() (*stats.Table, error) {
+	t := &stats.Table{
+		Title:     "Ablation: buffer cache (requests and base energy)",
+		Columns:   []string{"reqs", "reqs-nocache", "E", "E-nocache"},
+		Precision: 0,
+	}
+	for _, b := range s.Benchmarks {
+		if b.Name == "wupwise" || b.Name == "mgrid" {
+			// The cacheless traces of the two largest workloads are
+			// enormous; the remaining benchmarks demonstrate the
+			// effect.
+			continue
+		}
+		cfg := s.configFor(b)
+		in, err := core.Prepare(b.Name, b.Program, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		res, err := in.Run(core.Base)
+		if err != nil {
+			return nil, err
+		}
+		cfg.NoCache = true
+		inNC, err := core.Prepare(b.Name, b.Program, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		resNC, err := inNC.Run(core.Base)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(b.Name, float64(len(in.Sites)), float64(len(inNC.Sites)), res.EnergyJ, resNC.EnergyJ)
+	}
+	return t, nil
+}
+
+// AblationClustering isolates the nest-clustering step of LF+DL:
+// fission plus proportional disk allocation, with and without
+// reordering the fissioned nests by array group.
+func (s *Suite) AblationClustering() (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Ablation: LF+DL nest clustering (normalized CMDRPM energy)",
+		Columns: []string{"LF+DL", "LF+DL-nocluster"},
+	}
+	for _, b := range s.Benchmarks {
+		if !b.Fissionable {
+			continue
+		}
+		cfg := s.configFor(b)
+		orig, err := core.Prepare(b.Name, b.Program, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		base, err := orig.Run(core.Base)
+		if err != nil {
+			return nil, err
+		}
+		with, err := s.lfdlEnergy(b, cfg, true)
+		if err != nil {
+			return nil, err
+		}
+		without, err := s.lfdlEnergy(b, cfg, false)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(b.Name, with/base.EnergyJ, without/base.EnergyJ)
+	}
+	return t.WithMeanRow(), nil
+}
+
+// lfdlEnergy runs CMDRPM on the LF+DL version of a benchmark,
+// optionally skipping the clustering step.
+func (s *Suite) lfdlEnergy(b *workloads.Benchmark, cfg core.Config, cluster bool) (float64, error) {
+	fp := xform.Fission(b.Program)
+	if cluster {
+		fp = xform.ClusterByGroup(fp)
+	}
+	groups := xform.ArrayGroups(fp)
+	st, err := xform.AssignGroupDisks(groups, cfg.NumDisks, cfg.UnitBytes)
+	if err != nil {
+		return 0, err
+	}
+	in, err := core.Prepare(b.Name+"/lfdl", fp, cfg, st)
+	if err != nil {
+		return 0, err
+	}
+	res, err := in.Run(core.CMDRPM)
+	if err != nil {
+		return 0, err
+	}
+	return res.EnergyJ, nil
+}
+
+// AblationOpenLoop contrasts the closed-loop execution model (request
+// n+1 issues after request n completes — the paper's setting, where
+// power-management delays stretch the application) with classical
+// open-loop trace replay, under the reactive and oracle DRPM schemes.
+func (s *Suite) AblationOpenLoop() (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Ablation: closed vs open loop (normalized energy | time)",
+		Columns: []string{"DRPM-E", "DRPM-T", "openDRPM-E", "openDRPM-T", "openIDRPM-E"},
+	}
+	for _, b := range s.Benchmarks {
+		if b.Name == "wupwise" || b.Name == "mgrid" {
+			continue // keep the ablation quick; the others suffice
+		}
+		cfg := s.configFor(b)
+		in, err := core.Prepare(b.Name, b.Program, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		base, err := in.Run(core.Base)
+		if err != nil {
+			return nil, err
+		}
+		openBase, err := in.RunOpen(core.Base)
+		if err != nil {
+			return nil, err
+		}
+		dr, err := in.Run(core.DRPM)
+		if err != nil {
+			return nil, err
+		}
+		openDr, err := in.RunOpen(core.DRPM)
+		if err != nil {
+			return nil, err
+		}
+		openId, err := in.RunOpen(core.IDRPM)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(b.Name,
+			dr.EnergyJ/base.EnergyJ, dr.ExecMS/base.ExecMS,
+			openDr.EnergyJ/openBase.EnergyJ, openDr.ExecMS/openBase.ExecMS,
+			openId.EnergyJ/openBase.EnergyJ)
+	}
+	return t.WithMeanRow(), nil
+}
+
+// AblationSeekModel contrasts the datasheet average-seek model with
+// the distance-dependent square-root seek curve: the workloads'
+// mostly-sequential accesses seek far less than average, so base
+// energy and time drop.
+func (s *Suite) AblationSeekModel() (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Ablation: average vs distance-dependent seek (base runs)",
+		Columns: []string{"E-avg", "E-dist", "T-avg", "T-dist"},
+	}
+	for _, b := range s.Benchmarks {
+		if b.Name == "wupwise" {
+			continue
+		}
+		cfg := s.configFor(b)
+		in, err := core.Prepare(b.Name, b.Program, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		avg, err := in.Run(core.Base)
+		if err != nil {
+			return nil, err
+		}
+		cfg.DistanceAwareSeek = true
+		inD, err := core.Prepare(b.Name, b.Program, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		dist, err := inD.Run(core.Base)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(b.Name, avg.EnergyJ, dist.EnergyJ, avg.ExecMS, dist.ExecMS)
+	}
+	return t, nil
+}
+
+// EnergyBreakdown reports where each scheme's energy goes (active /
+// idle-spinning / standby / transitions), per benchmark, for the base
+// and compiler-managed DRPM schemes. It makes the proactive scheme's
+// mechanism visible: base energy is almost entirely full-speed
+// idling; CMDRPM converts most of it into low-RPM residency plus
+// transition costs.
+func (s *Suite) EnergyBreakdown() (*stats.Table, error) {
+	t := &stats.Table{
+		Title: "Energy breakdown (J): base vs CMDRPM",
+		Columns: []string{
+			"base-active", "base-idle",
+			"cm-active", "cm-idle", "cm-trans", "cm-standby",
+		},
+		Precision: 1,
+	}
+	for _, b := range s.Benchmarks {
+		cfg := s.configFor(b)
+		in, err := core.Prepare(b.Name, b.Program, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		base, err := in.Run(core.Base)
+		if err != nil {
+			return nil, err
+		}
+		cm, err := in.Run(core.CMDRPM)
+		if err != nil {
+			return nil, err
+		}
+		sum := func(r *sim.Result) (a, i, tr, sb float64) {
+			for _, st := range r.Disks {
+				a += st.ActiveEnergyJ
+				i += st.IdleEnergyJ
+				tr += st.TransitionEnergyJ
+				sb += st.StandbyEnergyJ
+			}
+			return
+		}
+		ba, bi, _, _ := sum(base)
+		ca, ci, ct, cs := sum(cm)
+		t.Add(b.Name, ba, bi, ca, ci, ct, cs)
+	}
+	return t, nil
+}

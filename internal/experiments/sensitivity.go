@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sdpm/internal/core"
+	"sdpm/internal/stats"
+	"sdpm/internal/workloads"
+)
+
+// DefaultStripeSizes are the stripe-unit sizes swept by Figures 5/6.
+var DefaultStripeSizes = []int64{16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10}
+
+// DefaultStripeFactors are the disk counts swept by Figures 7/8.
+var DefaultStripeFactors = []int{2, 4, 8, 12, 16}
+
+// sensitivitySchemes are the schemes the sensitivity figures track.
+var sensitivitySchemes = []core.Scheme{core.DRPM, core.IDRPM, core.CMDRPM}
+
+// sensitivityBench returns the benchmark the paper uses for the
+// sensitivity analysis (swim).
+func (s *Suite) sensitivityBench() (*workloads.Benchmark, error) {
+	for _, b := range s.Benchmarks {
+		if b.Name == "swim" {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: sensitivity analysis needs the swim benchmark")
+}
+
+// stripeSweep runs swim at each stripe size and returns raw energy
+// and execution-time tables (rows: sizes; cols: Base + schemes).
+func (s *Suite) stripeSweep(sizes []int64) (*stats.Table, *stats.Table, error) {
+	b, err := s.sensitivityBench()
+	if err != nil {
+		return nil, nil, err
+	}
+	cols := []string{string(core.Base)}
+	for _, sc := range sensitivitySchemes {
+		cols = append(cols, string(sc))
+	}
+	energy := &stats.Table{Columns: cols, Precision: 1}
+	times := &stats.Table{Columns: cols, Precision: 1}
+	for _, size := range sizes {
+		cfg := s.configFor(b)
+		cfg.UnitBytes = size
+		in, err := core.Prepare(b.Name, b.Program, cfg, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		evals := make([]float64, 0, len(cols))
+		tvals := make([]float64, 0, len(cols))
+		for _, sc := range append([]core.Scheme{core.Base}, sensitivitySchemes...) {
+			res, err := in.Run(sc)
+			if err != nil {
+				return nil, nil, fmt.Errorf("stripe %dKB/%s: %w", size/1024, sc, err)
+			}
+			evals = append(evals, res.EnergyJ)
+			tvals = append(tvals, res.ExecMS)
+		}
+		label := fmt.Sprintf("%dKB", size/1024)
+		energy.Add(label, evals...)
+		times.Add(label, tvals...)
+	}
+	return energy, times, nil
+}
+
+// Figures56 computes Figures 5 and 6: swim's normalized energy and
+// execution time across stripe sizes (normalized to the base scheme
+// at each size).
+func (s *Suite) Figures56(sizes []int64) (*stats.Table, *stats.Table, error) {
+	if len(sizes) == 0 {
+		sizes = DefaultStripeSizes
+	}
+	energy, times, err := s.stripeSweep(sizes)
+	if err != nil {
+		return nil, nil, err
+	}
+	ne, err := energy.Normalized(string(core.Base))
+	if err != nil {
+		return nil, nil, err
+	}
+	nt, err := times.Normalized(string(core.Base))
+	if err != nil {
+		return nil, nil, err
+	}
+	ne.Precision = 3
+	ne.Title = "Figure 5: Energy consumption with different stripe sizes (swim)"
+	nt.Precision = 3
+	nt.Title = "Figure 6: Execution time with different stripe sizes (swim)"
+	return ne, nt, nil
+}
+
+// factorSweep runs swim at each stripe factor (= subsystem size).
+func (s *Suite) factorSweep(factors []int) (*stats.Table, *stats.Table, error) {
+	b, err := s.sensitivityBench()
+	if err != nil {
+		return nil, nil, err
+	}
+	cols := []string{string(core.Base)}
+	for _, sc := range sensitivitySchemes {
+		cols = append(cols, string(sc))
+	}
+	energy := &stats.Table{Columns: cols, Precision: 1}
+	times := &stats.Table{Columns: cols, Precision: 1}
+	for _, f := range factors {
+		cfg := s.configFor(b)
+		cfg.NumDisks = f
+		in, err := core.Prepare(b.Name, b.Program, cfg, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		evals := make([]float64, 0, len(cols))
+		tvals := make([]float64, 0, len(cols))
+		for _, sc := range append([]core.Scheme{core.Base}, sensitivitySchemes...) {
+			res, err := in.Run(sc)
+			if err != nil {
+				return nil, nil, fmt.Errorf("factor %d/%s: %w", f, sc, err)
+			}
+			evals = append(evals, res.EnergyJ)
+			tvals = append(tvals, res.ExecMS)
+		}
+		label := fmt.Sprintf("%d disks", f)
+		energy.Add(label, evals...)
+		times.Add(label, tvals...)
+	}
+	return energy, times, nil
+}
+
+// Figures78 computes Figures 7 and 8: swim's normalized energy and
+// execution time across stripe factors.
+func (s *Suite) Figures78(factors []int) (*stats.Table, *stats.Table, error) {
+	if len(factors) == 0 {
+		factors = DefaultStripeFactors
+	}
+	energy, times, err := s.factorSweep(factors)
+	if err != nil {
+		return nil, nil, err
+	}
+	ne, err := energy.Normalized(string(core.Base))
+	if err != nil {
+		return nil, nil, err
+	}
+	nt, err := times.Normalized(string(core.Base))
+	if err != nil {
+		return nil, nil, err
+	}
+	ne.Precision = 3
+	ne.Title = "Figure 7: Energy consumption with different stripe factors (swim)"
+	nt.Precision = 3
+	nt.Title = "Figure 8: Execution time with different stripe factors (swim)"
+	return ne, nt, nil
+}

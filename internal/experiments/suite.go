@@ -1,0 +1,213 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Sections 4-6): Table 1 (parameters), Table 2
+// (benchmark characteristics), Figures 3/4 (normalized energy and
+// execution time under the seven schemes), Table 3 (CMDRPM speed
+// mispredictions), Figures 5-8 (stripe size and stripe factor
+// sensitivity on swim), and Figure 13 (the code-transformation
+// versions), plus the ablation studies DESIGN.md calls out.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sdpm/internal/core"
+	"sdpm/internal/stats"
+	"sdpm/internal/workloads"
+)
+
+// Suite runs the paper's experiments over the Table 2 benchmarks.
+type Suite struct {
+	// Cfg is the base configuration (Table 1 defaults).
+	Cfg core.Config
+	// Benchmarks are the workloads (Table 2 order).
+	Benchmarks []*workloads.Benchmark
+}
+
+// NewSuite returns a suite with the paper's default configuration and
+// all six benchmarks.
+func NewSuite() *Suite {
+	return &Suite{Cfg: core.DefaultConfig(), Benchmarks: workloads.All()}
+}
+
+// configFor specializes the suite configuration for one benchmark.
+func (s *Suite) configFor(b *workloads.Benchmark) core.Config {
+	cfg := s.Cfg
+	cfg.Model = b.Model()
+	if cfg.CacheUnits == core.DefaultConfig().CacheUnits {
+		cfg.CacheUnits = b.CacheUnits
+	}
+	return cfg
+}
+
+// instance prepares one benchmark under the suite configuration.
+func (s *Suite) instance(b *workloads.Benchmark) (*core.Instance, error) {
+	return core.Prepare(b.Name, b.Program, s.configFor(b), nil)
+}
+
+// Table1 renders the simulation parameters (the paper's Table 1).
+func (s *Suite) Table1() string {
+	p := s.Cfg.Disk
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Default simulation parameters\n")
+	fmt.Fprintf(&b, "  Disk model                 %s\n", p.Model)
+	fmt.Fprintf(&b, "  Interface                  %s\n", p.Interface)
+	fmt.Fprintf(&b, "  Storage capacity           %.0f GB\n", p.CapacityGB)
+	fmt.Fprintf(&b, "  RPM                        %d\n", p.MaxRPM)
+	fmt.Fprintf(&b, "  Average seek time          %.1f msec\n", p.AvgSeekMS)
+	fmt.Fprintf(&b, "  Average rotation time      %.1f msec\n", p.AvgRotMS)
+	fmt.Fprintf(&b, "  Internal transfer rate     %.0f MB/sec\n", p.TransferMBps)
+	fmt.Fprintf(&b, "  Power (active)             %.1f W\n", p.ActiveW)
+	fmt.Fprintf(&b, "  Power (idle)               %.1f W\n", p.IdleW)
+	fmt.Fprintf(&b, "  Power (standby)            %.1f W\n", p.StandbyW)
+	fmt.Fprintf(&b, "  Energy (spin down)         %.0f J\n", p.SpinDownJ)
+	fmt.Fprintf(&b, "  Time (spin down)           %.1f sec\n", p.SpinDownMS/1e3)
+	fmt.Fprintf(&b, "  Energy (spin up)           %.0f J\n", p.SpinUpJ)
+	fmt.Fprintf(&b, "  Time (spin up)             %.1f sec\n", p.SpinUpMS/1e3)
+	fmt.Fprintf(&b, "  Maximum RPM level          %d RPM\n", p.MaxRPM)
+	fmt.Fprintf(&b, "  Minimum RPM level          %d RPM\n", p.MinRPM)
+	fmt.Fprintf(&b, "  RPM step-size              %d RPM\n", p.RPMStep)
+	fmt.Fprintf(&b, "  RPM step time              %.1f msec (fitted; see DESIGN.md)\n", p.RPMStepTimeMS)
+	fmt.Fprintf(&b, "  Window size                %d\n", p.WindowSize)
+	fmt.Fprintf(&b, "  Stripe unit (stripe size)  %d KB\n", s.Cfg.UnitBytes/1024)
+	fmt.Fprintf(&b, "  Stripe factor (disks)      %d\n", s.Cfg.NumDisks)
+	fmt.Fprintf(&b, "  Starting iodevice          staggered per file (see DESIGN.md)\n")
+	return b.String()
+}
+
+// Table2 runs the base scheme on every benchmark and reports the
+// benchmark characteristics next to the paper's values.
+func (s *Suite) Table2() (*stats.Table, error) {
+	t := &stats.Table{
+		Title: "Table 2: Benchmarks and their characteristics (measured vs paper)",
+		Columns: []string{
+			"DataMB", "Requests", "EnergyJ", "ExecMS",
+			"paper:DataMB", "paper:Requests", "paper:EnergyJ", "paper:ExecMS",
+		},
+		Precision: 1,
+	}
+	for _, b := range s.Benchmarks {
+		in, err := s.instance(b)
+		if err != nil {
+			return nil, err
+		}
+		res, err := in.Run(core.Base)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(b.Name,
+			float64(b.Program.TotalBytes())/(1<<20), float64(len(in.Sites)),
+			res.EnergyJ, res.ExecMS,
+			b.Paper.DataMB, float64(b.Paper.Requests), b.Paper.EnergyJ, b.Paper.ExecMS)
+	}
+	return t, nil
+}
+
+// schemeMatrix runs every scheme on every benchmark and returns the
+// raw energy and execution-time tables.
+func (s *Suite) schemeMatrix() (*stats.Table, *stats.Table, error) {
+	cols := make([]string, 0, len(core.AllSchemes()))
+	for _, sc := range core.AllSchemes() {
+		cols = append(cols, string(sc))
+	}
+	energy := &stats.Table{Title: "Energy (J)", Columns: cols, Precision: 1}
+	times := &stats.Table{Title: "Execution time (ms)", Columns: cols, Precision: 1}
+	for _, b := range s.Benchmarks {
+		in, err := s.instance(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		evals := make([]float64, 0, len(cols))
+		tvals := make([]float64, 0, len(cols))
+		for _, sc := range core.AllSchemes() {
+			res, err := in.Run(sc)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s/%s: %w", b.Name, sc, err)
+			}
+			evals = append(evals, res.EnergyJ)
+			tvals = append(tvals, res.ExecMS)
+		}
+		energy.Add(b.Name, evals...)
+		times.Add(b.Name, tvals...)
+	}
+	return energy, times, nil
+}
+
+// Figure3 reports the normalized energy consumption of the seven
+// schemes (the paper's Figure 3), with the cross-benchmark average.
+func (s *Suite) Figure3() (*stats.Table, error) {
+	energy, _, err := s.schemeMatrix()
+	if err != nil {
+		return nil, err
+	}
+	n, err := energy.Normalized(string(core.Base))
+	if err != nil {
+		return nil, err
+	}
+	n.Precision = 3
+	n.Title = "Figure 3: Normalized energy consumption"
+	return n.WithMeanRow(), nil
+}
+
+// Figure4 reports the normalized execution times (the paper's
+// Figure 4).
+func (s *Suite) Figure4() (*stats.Table, error) {
+	_, times, err := s.schemeMatrix()
+	if err != nil {
+		return nil, err
+	}
+	n, err := times.Normalized(string(core.Base))
+	if err != nil {
+		return nil, err
+	}
+	n.Precision = 3
+	n.Title = "Figure 4: Normalized execution time"
+	return n.WithMeanRow(), nil
+}
+
+// Figures34 computes Figures 3 and 4 from a single scheme-matrix run.
+func (s *Suite) Figures34() (*stats.Table, *stats.Table, error) {
+	energy, times, err := s.schemeMatrix()
+	if err != nil {
+		return nil, nil, err
+	}
+	ne, err := energy.Normalized(string(core.Base))
+	if err != nil {
+		return nil, nil, err
+	}
+	nt, err := times.Normalized(string(core.Base))
+	if err != nil {
+		return nil, nil, err
+	}
+	ne.Precision = 3
+	ne.Title = "Figure 3: Normalized energy consumption"
+	nt.Precision = 3
+	nt.Title = "Figure 4: Normalized execution time"
+	return ne.WithMeanRow(), nt.WithMeanRow(), nil
+}
+
+// Table3 reports the percentage of mispredicted disk speeds of
+// CMDRPM versus the ideal scheme (the paper's Table 3).
+func (s *Suite) Table3() (*stats.Table, error) {
+	t := &stats.Table{
+		Title:     "Table 3: Percentage of mispredicted disk speeds (CMDRPM vs IDRPM)",
+		Columns:   []string{"mispredicted%", "paper%"},
+		Precision: 2,
+	}
+	paper := map[string]float64{
+		"wupwise": 6.78, "swim": 5.14, "mgrid": 13.02,
+		"applu": 18.97, "mesa": 27.35, "galgel": 15.9,
+	}
+	for _, b := range s.Benchmarks {
+		in, err := s.instance(b)
+		if err != nil {
+			return nil, err
+		}
+		st, err := in.Mispredictions()
+		if err != nil {
+			return nil, err
+		}
+		t.Add(b.Name, st.Pct, paper[b.Name])
+	}
+	return t, nil
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sdpm/internal/core"
+	"sdpm/internal/policy"
+	"sdpm/internal/sim"
+	"sdpm/internal/stats"
+	"sdpm/internal/trace"
+	"sdpm/internal/workloads"
+)
+
+// figure13Schemes are the compiler-managed schemes Figure 13
+// combines with the code versions.
+var figure13Schemes = []core.Scheme{core.CMTPM, core.CMDRPM}
+
+// Figure13 evaluates the code/layout versions of Section 6 under the
+// compiler-managed schemes, normalized to the original base version.
+// Rows are benchmarks; columns are version/scheme combinations. A
+// version that does not apply to a benchmark (no fissionable nest,
+// conforming layouts) reuses the original program, exactly as the
+// paper's compiler would leave the code unchanged.
+func (s *Suite) Figure13() (*stats.Table, error) {
+	var cols []string
+	for _, v := range core.AllVersions() {
+		for _, sc := range figure13Schemes {
+			cols = append(cols, fmt.Sprintf("%s/%s", v, sc))
+		}
+	}
+	t := &stats.Table{
+		Title:   "Figure 13: Normalized energy consumption with code transformations",
+		Columns: cols,
+	}
+	for _, b := range s.Benchmarks {
+		cfg := s.configFor(b)
+		orig, err := core.Prepare(b.Name, b.Program, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		baseRes, err := orig.Run(core.Base)
+		if err != nil {
+			return nil, err
+		}
+		var vals []float64
+		for _, v := range core.AllVersions() {
+			in, _, err := core.PrepareVersion(b.Name, b.Program, v, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", b.Name, v, err)
+			}
+			for _, sc := range figure13Schemes {
+				res, err := in.Run(sc)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s/%s: %w", b.Name, v, sc, err)
+				}
+				vals = append(vals, res.EnergyJ/baseRes.EnergyJ)
+			}
+		}
+		t.Add(b.Name, vals...)
+	}
+	return t.WithMeanRow(), nil
+}
+
+// ExtensionInterchange evaluates the loop-interchange extension (a
+// transformation beyond the paper's LF/TL pair) against TL+DL on the
+// layout-nonconforming benchmarks: interchange fixes the iteration
+// order without touching any layout, and should recover most of
+// TL+DL's benefit on codes whose only problem is a transposed
+// traversal.
+func (s *Suite) ExtensionInterchange() (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Extension: loop interchange vs TL+DL (normalized CMDRPM energy)",
+		Columns: []string{"orig", "IC", "TL+DL", "IC-requests", "orig-requests"},
+	}
+	for _, b := range s.Benchmarks {
+		cfg := s.configFor(b)
+		orig, err := core.Prepare(b.Name, b.Program, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		baseRes, err := orig.Run(core.Base)
+		if err != nil {
+			return nil, err
+		}
+		var vals []float64
+		var icReqs float64
+		for _, v := range []core.Version{core.VOrig, core.VIC, core.VTLDL} {
+			in, _, err := core.PrepareVersion(b.Name, b.Program, v, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res, err := in.Run(core.CMDRPM)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, res.EnergyJ/baseRes.EnergyJ)
+			if v == core.VIC {
+				icReqs = float64(len(in.Sites))
+			}
+		}
+		vals = append(vals, icReqs, float64(len(orig.Sites)))
+		t.Add(b.Name, vals...)
+	}
+	return t, nil
+}
+
+// ExtensionMultiprogram evaluates the server scenario the paper sets
+// aside (its single-program evaluation is why it shrinks the DRPM
+// window to 30): several benchmarks run concurrently against one
+// shared subsystem, replayed open-loop, under the reactive and
+// oracle DRPM schemes. Multiprogramming compresses each disk's idle
+// periods, so both schemes save less than they do on dedicated
+// subsystems.
+func (s *Suite) ExtensionMultiprogram() (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Extension: multiprogrammed (shared-subsystem) workloads, open-loop",
+		Columns: []string{"DRPM-E", "IDRPM-E", "DRPM-T"},
+	}
+	combos := [][]string{
+		{"swim"},
+		{"swim", "galgel"},
+		{"swim", "galgel", "mesa"},
+	}
+	for _, combo := range combos {
+		var traces []*trace.Trace
+		ok := true
+		for _, name := range combo {
+			var b *workloads.Benchmark
+			for _, x := range s.Benchmarks {
+				if x.Name == name {
+					b = x
+				}
+			}
+			if b == nil {
+				ok = false
+				break
+			}
+			in, err := core.Prepare(b.Name, b.Program, s.configFor(b), nil)
+			if err != nil {
+				return nil, err
+			}
+			traces = append(traces, in.BaseTrace())
+		}
+		if !ok {
+			continue
+		}
+		merged, err := trace.MergeOpen(s.Cfg.NumDisks, traces...)
+		if err != nil {
+			return nil, err
+		}
+		p := s.Cfg.Disk
+		base, err := sim.RunOpenLoop(merged, sim.Config{Disk: p, Policy: policy.NewBase()})
+		if err != nil {
+			return nil, err
+		}
+		dr, err := sim.RunOpenLoop(merged, sim.Config{Disk: p, Policy: policy.NewDRPM(p, s.Cfg.NumDisks)})
+		if err != nil {
+			return nil, err
+		}
+		id, err := sim.RunOpenLoop(merged, sim.Config{Disk: p, Policy: policy.NewIDRPM(p)})
+		if err != nil {
+			return nil, err
+		}
+		t.Add(merged.Program,
+			dr.EnergyJ/base.EnergyJ, id.EnergyJ/base.EnergyJ, dr.ExecMS/base.ExecMS)
+	}
+	return t, nil
+}
+
+// VersionApplicability reports which versions applied to which
+// benchmarks (1 = transformed, 0 = compiler left the code unchanged),
+// documenting the paper's structural claims (wupwise/galgel not
+// fissionable; galgel conforming, etc.).
+func (s *Suite) VersionApplicability() (*stats.Table, error) {
+	var cols []string
+	for _, v := range core.AllVersions()[1:] {
+		cols = append(cols, string(v))
+	}
+	t := &stats.Table{
+		Title:     "Transformation applicability (1 = applied)",
+		Columns:   cols,
+		Precision: 0,
+	}
+	for _, b := range s.Benchmarks {
+		cfg := s.configFor(b)
+		var vals []float64
+		for _, v := range core.AllVersions()[1:] {
+			_, applied, err := core.PrepareVersion(b.Name, b.Program, v, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if applied {
+				vals = append(vals, 1)
+			} else {
+				vals = append(vals, 0)
+			}
+		}
+		t.Add(b.Name, vals...)
+	}
+	return t, nil
+}

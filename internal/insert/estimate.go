@@ -1,0 +1,70 @@
+package insert
+
+import (
+	"sdpm/internal/disk"
+	"sdpm/internal/tracegen"
+)
+
+// EstimateEnergyJ returns the compiler's prediction of the total disk
+// subsystem energy for the instrumented program: the active energy of
+// every predicted request plus, for each idle period, the energy of
+// the power mode the plan chose for it (full-speed idle, an RPM dip,
+// or standby), all on the predicted timeline. This is the quantity
+// the compiler uses to "decide the most suitable disk power
+// management strategy" (Section 3 of the paper): instrument for both
+// mechanisms, estimate, and keep the cheaper plan.
+func (pl *Plan) EstimateEnergyJ(p disk.Params, sites []tracegen.Site) float64 {
+	var e float64
+	for i := range sites {
+		svc := p.ServiceTimeMS(p.MaxRPM, sites[i].Bytes)
+		e += p.ActivePowerAt(p.MaxRPM) * svc / 1e3
+	}
+	for d := range pl.Levels {
+		for g, level := range pl.Levels[d] {
+			idle := pl.PredictedIdle[d][g]
+			trailing := g == len(pl.Levels[d])-1
+			switch {
+			case level == p.MaxRPM:
+				e += p.IdleEnergyJ(idle)
+			case level == 0: // standby (TPM)
+				if trailing {
+					e += p.SpinDownJ + p.StandbyW*max0(idle-p.SpinDownMS)/1e3
+				} else {
+					e += p.StandbyEnergyJ(idle)
+				}
+			default: // RPM dip
+				if trailing {
+					tr := p.TransitionTimeMS(p.MaxRPM, level)
+					e += p.TransitionEnergyJ(p.MaxRPM, level) +
+						p.IdlePowerAt(level)*max0(idle-tr)/1e3
+				} else {
+					e += p.DipEnergyJ(idle, level)
+				}
+			}
+		}
+	}
+	return e
+}
+
+// EstimateBaseEnergyJ predicts the energy with no power management:
+// every idle period spent at full-speed idle.
+func (pl *Plan) EstimateBaseEnergyJ(p disk.Params, sites []tracegen.Site) float64 {
+	var e float64
+	for i := range sites {
+		svc := p.ServiceTimeMS(p.MaxRPM, sites[i].Bytes)
+		e += p.ActivePowerAt(p.MaxRPM) * svc / 1e3
+	}
+	for d := range pl.PredictedIdle {
+		for _, idle := range pl.PredictedIdle[d] {
+			e += p.IdleEnergyJ(idle)
+		}
+	}
+	return e
+}
+
+func max0(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

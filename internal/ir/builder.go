@@ -1,0 +1,91 @@
+package ir
+
+// Builder provides a fluent API for constructing programs. It is the
+// primary way the built-in workloads and the tests assemble IR.
+type Builder struct {
+	p   *Program
+	err error
+}
+
+// NewBuilder returns a builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{p: &Program{Name: name}}
+}
+
+// Array2D declares a 2-D row-major float64 array (8-byte elements)
+// and returns it.
+func (b *Builder) Array2D(name string, d0, d1 int64) *Array {
+	a := &Array{Name: name, Dims: []int64{d0, d1}, ElemSize: 8, RowMajor: true}
+	b.p.Arrays = append(b.p.Arrays, a)
+	return a
+}
+
+// Array1D declares a 1-D float64 array and returns it.
+func (b *Builder) Array1D(name string, d0 int64) *Array {
+	a := &Array{Name: name, Dims: []int64{d0}, ElemSize: 8, RowMajor: true}
+	b.p.Arrays = append(b.p.Arrays, a)
+	return a
+}
+
+// Array3D declares a 3-D row-major float64 array and returns it.
+func (b *Builder) Array3D(name string, d0, d1, d2 int64) *Array {
+	a := &Array{Name: name, Dims: []int64{d0, d1, d2}, ElemSize: 8, RowMajor: true}
+	b.p.Arrays = append(b.p.Arrays, a)
+	return a
+}
+
+// NestBuilder accumulates statements for one loop nest.
+type NestBuilder struct {
+	b *Builder
+	n *Nest
+}
+
+// Nest starts a new loop nest with the given label and loops.
+func (b *Builder) Nest(label string, loops ...Loop) *NestBuilder {
+	n := &Nest{Label: label, Loops: loops}
+	b.p.Nests = append(b.p.Nests, n)
+	return &NestBuilder{b: b, n: n}
+}
+
+// L is shorthand for a loop over [0, hi) with step 1.
+func L(name string, hi int64) Loop { return Loop{Name: name, Lo: 0, Hi: hi, Step: 1} }
+
+// LRange is shorthand for a loop over [lo, hi) with the given step.
+func LRange(name string, lo, hi, step int64) Loop {
+	return Loop{Name: name, Lo: lo, Hi: hi, Step: step}
+}
+
+// Stmt appends a statement with the given compute cost and references.
+func (nb *NestBuilder) Stmt(cost int64, refs ...Ref) *NestBuilder {
+	nb.n.Stmts = append(nb.n.Stmts, &Stmt{Cost: cost, Refs: refs})
+	return nb
+}
+
+// R constructs a read reference to the array with the given subscript
+// expressions.
+func R(a *Array, idx ...Expr) Ref { return Ref{Array: a, Index: idx, Kind: Read} }
+
+// W constructs a write reference to the array with the given
+// subscript expressions.
+func W(a *Array, idx ...Expr) Ref { return Ref{Array: a, Index: idx, Kind: Write} }
+
+// Build validates and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.p.Validate(); err != nil {
+		return nil, err
+	}
+	return b.p, nil
+}
+
+// MustBuild is Build but panics on error; intended for the built-in
+// workloads whose construction is exercised by tests.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,392 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestArrayElemsAndSize(t *testing.T) {
+	a := &Array{Name: "u", Dims: []int64{3, 4, 5}, ElemSize: 8, RowMajor: true}
+	if got := a.Elems(); got != 60 {
+		t.Errorf("Elems() = %d, want 60", got)
+	}
+	if got := a.SizeBytes(); got != 480 {
+		t.Errorf("SizeBytes() = %d, want 480", got)
+	}
+}
+
+func TestOffsetOfRowMajor(t *testing.T) {
+	a := &Array{Name: "u", Dims: []int64{3, 4}, ElemSize: 8, RowMajor: true}
+	cases := []struct {
+		idx  []int64
+		want int64
+	}{
+		{[]int64{0, 0}, 0},
+		{[]int64{0, 1}, 8},
+		{[]int64{1, 0}, 32},
+		{[]int64{2, 3}, 88},
+	}
+	for _, c := range cases {
+		if got := a.OffsetOf(c.idx); got != c.want {
+			t.Errorf("OffsetOf(%v) = %d, want %d", c.idx, got, c.want)
+		}
+	}
+}
+
+func TestOffsetOfColMajor(t *testing.T) {
+	a := &Array{Name: "u", Dims: []int64{3, 4}, ElemSize: 8, RowMajor: false}
+	cases := []struct {
+		idx  []int64
+		want int64
+	}{
+		{[]int64{0, 0}, 0},
+		{[]int64{1, 0}, 8},
+		{[]int64{0, 1}, 24},
+		{[]int64{2, 3}, 88},
+	}
+	for _, c := range cases {
+		if got := a.OffsetOf(c.idx); got != c.want {
+			t.Errorf("OffsetOf(%v) = %d, want %d", c.idx, got, c.want)
+		}
+	}
+}
+
+func TestOffsetOfBijective(t *testing.T) {
+	// Every index maps to a distinct in-range offset, for both orders.
+	for _, rm := range []bool{true, false} {
+		a := &Array{Name: "u", Dims: []int64{5, 7, 3}, ElemSize: 4, RowMajor: rm}
+		seen := make(map[int64]bool)
+		for i := int64(0); i < 5; i++ {
+			for j := int64(0); j < 7; j++ {
+				for k := int64(0); k < 3; k++ {
+					off := a.OffsetOf([]int64{i, j, k})
+					if off < 0 || off >= a.SizeBytes() {
+						t.Fatalf("rowMajor=%v: offset %d out of range", rm, off)
+					}
+					if off%a.ElemSize != 0 {
+						t.Fatalf("offset %d not element-aligned", off)
+					}
+					if seen[off] {
+						t.Fatalf("rowMajor=%v: duplicate offset %d", rm, off)
+					}
+					seen[off] = true
+				}
+			}
+		}
+	}
+}
+
+func TestInnerStride(t *testing.T) {
+	a := &Array{Name: "u", Dims: []int64{3, 4}, ElemSize: 8, RowMajor: true}
+	if got := a.InnerStride(1); got != 8 {
+		t.Errorf("row-major InnerStride(1) = %d, want 8", got)
+	}
+	if got := a.InnerStride(0); got != 32 {
+		t.Errorf("row-major InnerStride(0) = %d, want 32", got)
+	}
+	a.RowMajor = false
+	if got := a.InnerStride(0); got != 8 {
+		t.Errorf("col-major InnerStride(0) = %d, want 8", got)
+	}
+	if got := a.InnerStride(1); got != 24 {
+		t.Errorf("col-major InnerStride(1) = %d, want 24", got)
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	e := Var(0).Times(2).Add(Var(1)).Plus(3) // 2*i0 + i1 + 3
+	if got := e.Eval([]int64{5, 7}); got != 20 {
+		t.Errorf("Eval = %d, want 20", got)
+	}
+	if e.IsConst() {
+		t.Error("expr with variables reported const")
+	}
+	if !Cnst(4).IsConst() {
+		t.Error("constant expr not reported const")
+	}
+	if got := e.CoeffAt(0); got != 2 {
+		t.Errorf("CoeffAt(0) = %d, want 2", got)
+	}
+	if got := e.CoeffAt(5); got != 0 {
+		t.Errorf("CoeffAt(5) = %d, want 0", got)
+	}
+}
+
+func TestExprAlgebraProperties(t *testing.T) {
+	// Property: (a.Add(b)).Eval(iv) == a.Eval(iv) + b.Eval(iv),
+	// and scaling/shifting commute with evaluation.
+	f := func(c0, c1, k, x, y, shift int8) bool {
+		a := Var(0).Times(int64(c0)).Plus(int64(shift))
+		b := Var(1).Times(int64(c1))
+		iv := []int64{int64(x), int64(y)}
+		sum := a.Add(b)
+		if sum.Eval(iv) != a.Eval(iv)+b.Eval(iv) {
+			return false
+		}
+		scaled := a.Times(int64(k))
+		return scaled.Eval(iv) == a.Eval(iv)*int64(k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExprString(t *testing.T) {
+	if got := Cnst(0).String(); got != "0" {
+		t.Errorf("Cnst(0).String() = %q", got)
+	}
+	if got := Var(1).String(); got != "i1" {
+		t.Errorf("Var(1).String() = %q", got)
+	}
+	e := Var(0).Times(3).Plus(-2)
+	if got := e.String(); got != "3*i0-2" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestLoopTrip(t *testing.T) {
+	cases := []struct {
+		l    Loop
+		want int64
+	}{
+		{Loop{Lo: 0, Hi: 10, Step: 1}, 10},
+		{Loop{Lo: 0, Hi: 10, Step: 3}, 4},
+		{Loop{Lo: 2, Hi: 2, Step: 1}, 0},
+		{Loop{Lo: 5, Hi: 2, Step: 1}, 0},
+		{Loop{Lo: 1, Hi: 8, Step: 2}, 4},
+	}
+	for _, c := range cases {
+		if got := c.l.Trip(); got != c.want {
+			t.Errorf("Trip(%+v) = %d, want %d", c.l, got, c.want)
+		}
+	}
+}
+
+func TestNestIterRoundTrip(t *testing.T) {
+	n := &Nest{
+		Label: "t",
+		Loops: []Loop{
+			{Name: "i", Lo: 1, Hi: 7, Step: 2},
+			{Name: "j", Lo: 0, Hi: 5, Step: 1},
+		},
+	}
+	trips := n.Trips()
+	if trips != 15 {
+		t.Fatalf("Trips() = %d, want 15", trips)
+	}
+	for it := int64(0); it < trips; it++ {
+		iv := n.IndexOf(it)
+		if got := n.IterOf(iv); got != it {
+			t.Errorf("IterOf(IndexOf(%d)) = %d", it, got)
+		}
+	}
+	// Lexicographic order: iteration 0 is (1,0), iteration 1 is (1,1).
+	if iv := n.IndexOf(0); iv[0] != 1 || iv[1] != 0 {
+		t.Errorf("IndexOf(0) = %v", iv)
+	}
+	if iv := n.IndexOf(5); iv[0] != 3 || iv[1] != 0 {
+		t.Errorf("IndexOf(5) = %v", iv)
+	}
+}
+
+func TestNestIterRoundTripQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := &Nest{Loops: []Loop{
+			{Lo: int64(rng.Intn(5)), Hi: int64(5 + rng.Intn(10)), Step: int64(1 + rng.Intn(3))},
+			{Lo: int64(rng.Intn(3)), Hi: int64(3 + rng.Intn(8)), Step: int64(1 + rng.Intn(2))},
+			{Lo: 0, Hi: int64(1 + rng.Intn(6)), Step: 1},
+		}}
+		trips := n.Trips()
+		for it := int64(0); it < trips; it++ {
+			if got := n.IterOf(n.IndexOf(it)); got != it {
+				t.Fatalf("nest %+v: round trip failed at %d -> %d", n.Loops, it, got)
+			}
+		}
+	}
+}
+
+func TestNestCosts(t *testing.T) {
+	a := &Array{Name: "u", Dims: []int64{100}, ElemSize: 8, RowMajor: true}
+	n := &Nest{
+		Loops: []Loop{{Lo: 0, Hi: 10, Step: 1}},
+		Stmts: []*Stmt{
+			{Cost: 5, Refs: []Ref{{Array: a, Index: []Expr{Var(0)}, Kind: Read}}},
+			{Cost: 7, Refs: []Ref{{Array: a, Index: []Expr{Var(0)}, Kind: Write}}},
+		},
+	}
+	if got := n.IterCost(); got != 12 {
+		t.Errorf("IterCost() = %d, want 12", got)
+	}
+	if got := n.TotalCost(); got != 120 {
+		t.Errorf("TotalCost() = %d, want 120", got)
+	}
+}
+
+func TestStmtAndNestArrays(t *testing.T) {
+	a := &Array{Name: "a", Dims: []int64{10}, ElemSize: 8}
+	b := &Array{Name: "b", Dims: []int64{10}, ElemSize: 8}
+	s := &Stmt{Refs: []Ref{
+		{Array: a, Index: []Expr{Var(0)}},
+		{Array: b, Index: []Expr{Var(0)}},
+		{Array: a, Index: []Expr{Var(0).Plus(1)}},
+	}}
+	if got := s.Arrays(); len(got) != 2 || got[0] != a || got[1] != b {
+		t.Errorf("Stmt.Arrays() = %v", got)
+	}
+	n := &Nest{Stmts: []*Stmt{s, {Refs: []Ref{{Array: b, Index: []Expr{Var(0)}}}}}}
+	if got := n.Arrays(); len(got) != 2 {
+		t.Errorf("Nest.Arrays() = %v", got)
+	}
+}
+
+func TestRefOffsetAt(t *testing.T) {
+	a := &Array{Name: "u", Dims: []int64{4, 8}, ElemSize: 8, RowMajor: true}
+	r := Ref{Array: a, Index: []Expr{Var(0), Var(1).Plus(2)}}
+	// iter (1,3) -> element (1,5) -> offset (1*8+5)*8 = 104.
+	if got := r.OffsetAt([]int64{1, 3}); got != 104 {
+		t.Errorf("OffsetAt = %d, want 104", got)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	mk := func() *Program {
+		a := &Array{Name: "u", Dims: []int64{10}, ElemSize: 8, RowMajor: true}
+		return &Program{
+			Name:   "p",
+			Arrays: []*Array{a},
+			Nests: []*Nest{{
+				Label: "n0",
+				Loops: []Loop{{Name: "i", Lo: 0, Hi: 10, Step: 1}},
+				Stmts: []*Stmt{{Cost: 1, Refs: []Ref{{Array: a, Index: []Expr{Var(0)}, Kind: Read}}}},
+			}},
+		}
+	}
+	if err := mk().Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+
+	p := mk()
+	p.Arrays = append(p.Arrays, &Array{Name: "u", Dims: []int64{5}, ElemSize: 8})
+	if err := p.Validate(); err == nil {
+		t.Error("duplicate array name accepted")
+	}
+
+	p = mk()
+	p.Nests[0].Loops[0].Step = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero step accepted")
+	}
+
+	p = mk()
+	p.Nests[0].Stmts[0].Refs[0].Index = nil
+	if err := p.Validate(); err == nil {
+		t.Error("rank mismatch accepted")
+	}
+
+	p = mk()
+	p.Nests[0].Stmts[0].Refs[0].Array = &Array{Name: "ghost", Dims: []int64{5}, ElemSize: 8}
+	if err := p.Validate(); err == nil {
+		t.Error("unregistered array accepted")
+	}
+
+	p = mk()
+	p.Nests[0].Stmts[0].Refs[0].Index = []Expr{Var(3)}
+	if err := p.Validate(); err == nil {
+		t.Error("subscript deeper than nest accepted")
+	}
+
+	p = mk()
+	p.Nests[0].Stmts = nil
+	if err := p.Validate(); err == nil {
+		t.Error("empty nest accepted")
+	}
+
+	p = mk()
+	p.Arrays[0].Dims = []int64{0}
+	if err := p.Validate(); err == nil {
+		t.Error("zero dimension accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	b := NewBuilder("p")
+	u := b.Array2D("u", 4, 4)
+	v := b.Array2D("v", 4, 4)
+	b.Nest("n0", L("i", 4), L("j", 4)).
+		Stmt(10, R(u, Var(0), Var(1)), W(v, Var(0), Var(1)))
+	p := b.MustBuild()
+
+	cp := p.Clone()
+	if cp.ArrayByName("u") == p.ArrayByName("u") {
+		t.Fatal("clone shares array pointers")
+	}
+	// The clone's refs must point at the clone's arrays.
+	if cp.Nests[0].Stmts[0].Refs[0].Array != cp.ArrayByName("u") {
+		t.Fatal("clone refs not remapped to clone arrays")
+	}
+	cp.Arrays[0].RowMajor = false
+	cp.Nests[0].Stmts[0].Cost = 99
+	cp.Nests[0].Loops[0].Hi = 2
+	if !p.Arrays[0].RowMajor || p.Nests[0].Stmts[0].Cost != 10 || p.Nests[0].Loops[0].Hi != 4 {
+		t.Fatal("mutating clone affected original")
+	}
+	if err := cp.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+}
+
+func TestBuilderProducesValidProgram(t *testing.T) {
+	b := NewBuilder("demo")
+	u := b.Array2D("u", 16, 16)
+	w := b.Array1D("w", 256)
+	z := b.Array3D("z", 4, 4, 4)
+	b.Nest("n0", L("i", 16), L("j", 16)).
+		Stmt(100, R(u, Var(0), Var(1)), W(w, Var(0).Times(16).Add(Var(1))))
+	b.Nest("n1", L("i", 4), L("j", 4), L("k", 4)).
+		Stmt(50, R(z, Var(0), Var(1), Var(2)))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(p.Arrays) != 3 || len(p.Nests) != 2 {
+		t.Fatalf("unexpected shape: %d arrays, %d nests", len(p.Arrays), len(p.Nests))
+	}
+	if p.TotalBytes() != 16*16*8+256*8+4*4*4*8 {
+		t.Errorf("TotalBytes = %d", p.TotalBytes())
+	}
+	if p.TotalCost() != 100*256+50*64 {
+		t.Errorf("TotalCost = %d", p.TotalCost())
+	}
+	if got := z.SizeBytes(); got != 512 {
+		t.Errorf("3D size = %d", got)
+	}
+}
+
+func TestProgramTotals(t *testing.T) {
+	p := &Program{}
+	if p.TotalBytes() != 0 || p.TotalCost() != 0 {
+		t.Error("empty program totals nonzero")
+	}
+	if p.ArrayByName("x") != nil {
+		t.Error("ArrayByName on empty program")
+	}
+}
+
+func TestRefKindString(t *testing.T) {
+	if Read.String() != "R" || Write.String() != "W" {
+		t.Error("RefKind strings wrong")
+	}
+}
+
+func TestLRangeAndL(t *testing.T) {
+	l := LRange("i", 2, 10, 2)
+	if l.Lo != 2 || l.Hi != 10 || l.Step != 2 || l.Trip() != 4 {
+		t.Errorf("LRange = %+v", l)
+	}
+	l2 := L("j", 5)
+	if l2.Lo != 0 || l2.Hi != 5 || l2.Step != 1 {
+		t.Errorf("L = %+v", l2)
+	}
+}

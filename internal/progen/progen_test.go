@@ -1,0 +1,67 @@
+package progen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		p := Generate(rng, DefaultOptions())
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(p.Arrays) == 0 || len(p.Nests) == 0 {
+			t.Fatalf("trial %d: empty program", trial)
+		}
+	}
+}
+
+func TestGenerateInBounds(t *testing.T) {
+	// Every reference stays within its array for every iteration.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		p := Generate(rng, DefaultOptions())
+		for _, n := range p.Nests {
+			trips := n.Trips()
+			if trips > 4096 {
+				trips = 4096
+			}
+			for it := int64(0); it < trips; it++ {
+				iv := n.IndexOf(it)
+				for _, s := range n.Stmts {
+					for ri := range s.Refs {
+						r := &s.Refs[ri]
+						for d, e := range r.Index {
+							idx := e.Eval(iv)
+							if idx < 0 || idx >= r.Array.Dims[d] {
+								t.Fatalf("trial %d nest %s: index %d out of [0,%d)",
+									trial, n.Label, idx, r.Array.Dims[d])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(rand.New(rand.NewSource(7)), DefaultOptions())
+	b := Generate(rand.New(rand.NewSource(7)), DefaultOptions())
+	if a.Name != b.Name || len(a.Arrays) != len(b.Arrays) || len(a.Nests) != len(b.Nests) {
+		t.Error("same seed produced different programs")
+	}
+	if a.TotalCost() != b.TotalCost() {
+		t.Error("costs differ")
+	}
+}
+
+func TestGenerateBoundsClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := Generate(rng, Options{}) // all-zero options must be clamped
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,390 @@
+// Package sim implements the trace-driven disk power simulator used
+// for all of the paper's experiments. It executes a program-order
+// event trace in a closed loop (request n+1 is issued after request n
+// completes plus the compute gap), maintains a per-disk power state
+// machine, and integrates energy over piecewise-constant power
+// segments.
+//
+// Power-management policies act through the Machine's per-disk
+// operations. Energy accounting is lazy: a disk's timeline is only
+// committed up to its accounting cursor, so a policy may apply
+// actions retroactively anywhere inside the idle period that is just
+// ending. This is what makes the paper's oracle schemes (ITPM,
+// IDRPM) realizable in a single simulation pass.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"sdpm/internal/disk"
+)
+
+// Status enumerates the per-disk power states.
+type Status uint8
+
+// Disk power states.
+const (
+	StSpinning Status = iota // platters at d.rpm; idle or servicing
+	StStandby                // spun down
+	StDown                   // spinning down (idle -> standby)
+	StUp                     // spinning up (standby -> full speed)
+	StShift                  // RPM modulation in progress
+)
+
+// String returns a short state name.
+func (s Status) String() string {
+	switch s {
+	case StSpinning:
+		return "spinning"
+	case StStandby:
+		return "standby"
+	case StDown:
+		return "spindown"
+	case StUp:
+		return "spinup"
+	default:
+		return "rpmshift"
+	}
+}
+
+// IdlePeriod records one inter-request idle period on a disk.
+type IdlePeriod struct {
+	StartMS float64
+	LenMS   float64
+}
+
+// DiskStats aggregates one disk's activity over a run.
+type DiskStats struct {
+	EnergyJ      float64
+	ActiveMS     float64
+	IdleMS       float64 // spinning, not servicing
+	StandbyMS    float64
+	TransitionMS float64 // spin up/down + RPM shifts
+	// Per-mode energy breakdown (sums to EnergyJ).
+	ActiveEnergyJ     float64
+	IdleEnergyJ       float64
+	StandbyEnergyJ    float64
+	TransitionEnergyJ float64
+	Requests          int
+	SpinDowns         int
+	SpinUps           int
+	RPMShifts         int
+	// WaitMS is the total time requests waited for the disk to become
+	// ready (spin-up or shift completion) — the performance penalty.
+	WaitMS float64
+	// RPMResidencyMS maps RPM level -> total spinning time at that
+	// level (idle plus servicing).
+	RPMResidencyMS map[int]float64
+}
+
+// addResidency accumulates spinning time at an RPM level.
+func (st *DiskStats) addResidency(rpm int, ms float64) {
+	if st.RPMResidencyMS == nil {
+		st.RPMResidencyMS = make(map[int]float64)
+	}
+	st.RPMResidencyMS[rpm] += ms
+}
+
+// Segment is one piece of a disk's recorded timeline: a maximal span
+// during which the disk stayed in one state at one power draw.
+type Segment struct {
+	StartMS, EndMS float64
+	Stat           Status
+	// RPM is the spindle speed during the segment (the target level
+	// during a shift; 0 in standby).
+	RPM int
+	// PowerW is the constant power draw of the segment.
+	PowerW float64
+	// Active marks a request-service segment.
+	Active bool
+}
+
+type dstate struct {
+	accT        float64 // energy accounted up to here
+	status      Status
+	rpm         int     // speed when spinning (target during StShift)
+	statusUntil float64 // end of transitional status
+	transPowerW float64 // power during current transitional status
+	idleFrom    float64 // completion time of the last request
+	stats       DiskStats
+	idles       []IdlePeriod
+	timeline    []Segment
+}
+
+// record appends a timeline segment, merging with the previous one
+// when the state continues unchanged.
+func (s *dstate) record(enabled bool, start, end float64, stat Status, rpm int, powerW float64, active bool) {
+	if !enabled || end <= start {
+		return
+	}
+	if n := len(s.timeline); n > 0 {
+		last := &s.timeline[n-1]
+		if last.Stat == stat && last.RPM == rpm && last.PowerW == powerW &&
+			last.Active == active && last.EndMS == start {
+			last.EndMS = end
+			return
+		}
+	}
+	s.timeline = append(s.timeline, Segment{StartMS: start, EndMS: end, Stat: stat, RPM: rpm, PowerW: powerW, Active: active})
+}
+
+// Machine is the multi-disk power state machine.
+type Machine struct {
+	p     disk.Params
+	disks []dstate
+	// Distance-aware seek state (disabled by default).
+	distSeek  bool
+	maxBlocks int64
+	headPos   []int64
+	// timeline recording (disabled by default).
+	recTimeline bool
+}
+
+// NewMachine returns a machine of n disks, all spinning at full speed
+// with their timelines starting at time zero.
+func NewMachine(n int, p disk.Params) *Machine {
+	m := &Machine{p: p, disks: make([]dstate, n)}
+	for i := range m.disks {
+		m.disks[i].status = StSpinning
+		m.disks[i].rpm = p.MaxRPM
+	}
+	return m
+}
+
+// EnableDistanceSeek switches the machine from average-seek to
+// distance-dependent seek times: each disk tracks its head position
+// and ServiceBlock charges the square-root seek curve for the
+// distance travelled.
+func (m *Machine) EnableDistanceSeek(maxBlocks int64) {
+	m.distSeek = true
+	m.maxBlocks = maxBlocks
+	m.headPos = make([]int64, len(m.disks))
+}
+
+// NumDisks returns the number of disks.
+func (m *Machine) NumDisks() int { return len(m.disks) }
+
+// Params returns the disk parameters.
+func (m *Machine) Params() disk.Params { return m.p }
+
+// CurRPM returns disk d's current (or shift-target) speed.
+func (m *Machine) CurRPM(d int) int { return m.disks[d].rpm }
+
+// StatusOf returns disk d's current status.
+func (m *Machine) StatusOf(d int) Status { return m.disks[d].status }
+
+// IdleFrom returns the completion time of disk d's last request
+// (zero if the disk has not been accessed).
+func (m *Machine) IdleFrom(d int) float64 { return m.disks[d].idleFrom }
+
+// AccountedTo returns the time up to which disk d's energy has been
+// committed; policy actions must not be scheduled before it.
+func (m *Machine) AccountedTo(d int) float64 { return m.disks[d].accT }
+
+// EnableTimeline turns on per-disk timeline recording; segments are
+// returned by Timelines after Finish.
+func (m *Machine) EnableTimeline() { m.recTimeline = true }
+
+// Timelines returns the recorded per-disk timelines (nil per disk
+// unless EnableTimeline was called before simulation).
+func (m *Machine) Timelines() [][]Segment {
+	out := make([][]Segment, len(m.disks))
+	for d := range m.disks {
+		out[d] = m.disks[d].timeline
+	}
+	return out
+}
+
+// advance commits disk d's energy up to time t, resolving any
+// transitional statuses that complete before t.
+func (m *Machine) advance(d int, t float64) {
+	s := &m.disks[d]
+	for s.accT < t {
+		switch s.status {
+		case StSpinning:
+			dt := t - s.accT
+			pw := m.p.IdlePowerAt(s.rpm)
+			s.stats.EnergyJ += pw * dt / 1e3
+			s.stats.IdleEnergyJ += pw * dt / 1e3
+			s.stats.IdleMS += dt
+			s.stats.addResidency(s.rpm, dt)
+			s.record(m.recTimeline, s.accT, t, StSpinning, s.rpm, pw, false)
+			s.accT = t
+		case StStandby:
+			dt := t - s.accT
+			s.stats.EnergyJ += m.p.StandbyW * dt / 1e3
+			s.stats.StandbyEnergyJ += m.p.StandbyW * dt / 1e3
+			s.stats.StandbyMS += dt
+			s.record(m.recTimeline, s.accT, t, StStandby, 0, m.p.StandbyW, false)
+			s.accT = t
+		case StDown, StUp, StShift:
+			end := math.Min(t, s.statusUntil)
+			dt := end - s.accT
+			s.stats.EnergyJ += s.transPowerW * dt / 1e3
+			s.stats.TransitionEnergyJ += s.transPowerW * dt / 1e3
+			s.stats.TransitionMS += dt
+			s.record(m.recTimeline, s.accT, end, s.status, s.rpm, s.transPowerW, false)
+			s.accT = end
+			if s.accT >= s.statusUntil {
+				switch s.status {
+				case StDown:
+					s.status = StStandby
+				case StUp:
+					s.status = StSpinning
+					s.rpm = m.p.MaxRPM
+				case StShift:
+					s.status = StSpinning
+				}
+			}
+		}
+	}
+}
+
+// effectiveAt returns the earliest time >= t at which a new state
+// change may begin on disk d (after any in-progress transition), and
+// advances the disk there.
+func (m *Machine) effectiveAt(d int, t float64) float64 {
+	s := &m.disks[d]
+	if t < s.accT {
+		t = s.accT
+	}
+	if (s.status == StDown || s.status == StUp || s.status == StShift) && s.statusUntil > t {
+		t = s.statusUntil
+	}
+	m.advance(d, t)
+	return t
+}
+
+// SpinDownAt initiates a TPM spin-down on disk d at time t (or as
+// soon after as the disk is free). It is a no-op if the disk is
+// already in or heading to standby. t must not precede the disk's
+// accounting cursor.
+func (m *Machine) SpinDownAt(d int, t float64) {
+	s := &m.disks[d]
+	if s.status == StStandby || s.status == StDown {
+		return
+	}
+	eff := m.effectiveAt(d, t)
+	s.status = StDown
+	s.statusUntil = eff + m.p.SpinDownMS
+	s.transPowerW = m.p.SpinDownJ / m.p.SpinDownMS * 1e3
+	s.stats.SpinDowns++
+}
+
+// SpinUpAt initiates a TPM spin-up on disk d at time t. It is a
+// no-op unless the disk is in (or heading to) standby.
+func (m *Machine) SpinUpAt(d int, t float64) {
+	s := &m.disks[d]
+	if s.status != StStandby && s.status != StDown {
+		return
+	}
+	eff := m.effectiveAt(d, t)
+	if s.status != StStandby {
+		// A queued spin-down resolved differently than expected;
+		// nothing to do.
+		return
+	}
+	s.status = StUp
+	s.statusUntil = eff + m.p.SpinUpMS
+	s.transPowerW = m.p.SpinUpJ / m.p.SpinUpMS * 1e3
+	s.stats.SpinUps++
+}
+
+// SetRPMAt initiates an RPM modulation on disk d toward the given
+// level at time t (or after the in-progress transition completes).
+// It is a no-op if the disk is in standby or already at the level.
+func (m *Machine) SetRPMAt(d int, t float64, rpm int) {
+	s := &m.disks[d]
+	if s.status == StStandby || s.status == StDown || s.status == StUp {
+		return
+	}
+	rpm = m.p.ClampLevel(rpm)
+	if s.rpm == rpm && s.status == StSpinning {
+		return
+	}
+	eff := m.effectiveAt(d, t)
+	if s.rpm == rpm {
+		return
+	}
+	from := s.rpm
+	s.status = StShift
+	s.rpm = rpm
+	dur := m.p.TransitionTimeMS(from, rpm)
+	s.statusUntil = eff + dur
+	s.transPowerW = m.p.TransitionEnergyJ(from, rpm) / dur * 1e3
+	s.stats.RPMShifts++
+}
+
+// Service issues a request of the given size to disk d at time t. It
+// records the idle period that ends at t, waits out any spin-up or
+// shift in progress (spinning the disk up from standby on demand),
+// services the request, and returns the completion time. The seek
+// component uses the average seek time; use ServiceBlock for
+// distance-aware seeks.
+func (m *Machine) Service(d int, t float64, bytes int64) float64 {
+	return m.ServiceBlock(d, t, bytes, -1)
+}
+
+// ServiceBlock is Service with the request's start block: when
+// distance-aware seeking is enabled, the seek time follows the head
+// movement from the previous request's end position (a negative
+// block keeps the average-seek model for this request).
+func (m *Machine) ServiceBlock(d int, t float64, bytes, block int64) float64 {
+	s := &m.disks[d]
+	s.idles = append(s.idles, IdlePeriod{StartMS: s.idleFrom, LenMS: t - s.idleFrom})
+	start := m.effectiveAt(d, t)
+	if s.status == StStandby {
+		// On-demand spin-up: the request pays the full delay.
+		m.SpinUpAt(d, start)
+		start = m.effectiveAt(d, start)
+	}
+	if s.status != StSpinning {
+		panic(fmt.Sprintf("sim: disk %d not spinning at service start (status %v)", d, s.status))
+	}
+	s.stats.WaitMS += start - t
+	seek := m.p.AvgSeekMS
+	if m.distSeek && block >= 0 {
+		dist := block - m.headPos[d]
+		if dist < 0 {
+			dist = -dist
+		}
+		seek = m.p.SeekTimeMS(dist, m.maxBlocks)
+		m.headPos[d] = block + bytes/512
+	}
+	svc := m.p.ServiceTimeSeekMS(s.rpm, bytes, seek)
+	pw := m.p.ActivePowerAt(s.rpm)
+	s.stats.EnergyJ += pw * svc / 1e3
+	s.stats.ActiveEnergyJ += pw * svc / 1e3
+	s.stats.ActiveMS += svc
+	s.stats.addResidency(s.rpm, svc)
+	s.stats.Requests++
+	end := start + svc
+	s.record(m.recTimeline, start, end, StSpinning, s.rpm, pw, true)
+	s.accT = end
+	s.idleFrom = end
+	return end
+}
+
+// Finish commits all disks' energy up to the program end time and
+// returns the per-disk statistics and idle-period records (including
+// the trailing idle period of each disk).
+func (m *Machine) Finish(endT float64) ([]DiskStats, [][]IdlePeriod) {
+	stats := make([]DiskStats, len(m.disks))
+	idles := make([][]IdlePeriod, len(m.disks))
+	for d := range m.disks {
+		m.advance(d, endT)
+		s := &m.disks[d]
+		// The trailing idle period is always recorded (possibly with
+		// zero length) so idle-period lists align index-for-index
+		// with the compiler's per-gap plans.
+		trail := endT - s.idleFrom
+		if trail < 0 {
+			trail = 0
+		}
+		s.idles = append(s.idles, IdlePeriod{StartMS: s.idleFrom, LenMS: trail})
+		stats[d] = s.stats
+		idles[d] = s.idles
+	}
+	return stats, idles
+}

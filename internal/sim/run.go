@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"fmt"
+
+	"sdpm/internal/disk"
+	"sdpm/internal/trace"
+)
+
+// Policy is a reactive or oracle power-management policy. The
+// compiler-managed schemes need no Policy: their decisions arrive as
+// power-op events in the trace.
+type Policy interface {
+	// Name identifies the policy in results.
+	Name() string
+	// BeforeService runs when a request is about to be issued to
+	// disk d at time t. The idle period ending now spans
+	// [m.IdleFrom(d), t]; the policy may apply retroactive actions
+	// anywhere inside it.
+	BeforeService(m *Machine, d int, t float64)
+	// AfterService runs when the request completes at time end with
+	// the given response time (wait + service).
+	AfterService(m *Machine, d int, end, responseMS float64)
+	// Finish runs once after the last event, before final energy
+	// accounting; endT is the program completion time. Oracle
+	// policies exploit each disk's trailing idle period here.
+	Finish(m *Machine, endT float64)
+}
+
+// Config configures a simulation run.
+type Config struct {
+	// Disk supplies the disk model parameters.
+	Disk disk.Params
+	// Policy is the reactive/oracle policy; nil means no power
+	// management beyond the trace's explicit power ops.
+	Policy Policy
+	// PowerCallOverheadMS is Tm of the paper's Equation 1: the
+	// application-side overhead of one explicit power-management
+	// call.
+	PowerCallOverheadMS float64
+	// IgnorePowerOps drops the trace's power-op events (used to run
+	// an instrumented trace under a reactive baseline).
+	IgnorePowerOps bool
+	// DistanceAwareSeek replaces the average-seek model with the
+	// square-root seek curve over the head's actual movement
+	// (requests carry start block numbers).
+	DistanceAwareSeek bool
+	// RecordTimeline collects per-disk state timelines into the
+	// result (Result.Timelines).
+	RecordTimeline bool
+}
+
+// DefaultPowerCallOverheadMS is the default power-management call
+// overhead (Tm).
+const DefaultPowerCallOverheadMS = 0.05
+
+// Result reports one simulation run.
+type Result struct {
+	Program string
+	Scheme  string
+	// ExecMS is the application completion time.
+	ExecMS float64
+	// EnergyJ is the total disk-subsystem energy.
+	EnergyJ float64
+	// Disks holds per-disk statistics.
+	Disks []DiskStats
+	// Idles holds, per disk, every inter-request idle period plus
+	// the trailing idle period.
+	Idles [][]IdlePeriod
+	// Requests is the number of I/O requests serviced.
+	Requests int
+	// PowerOps is the number of explicit power-management calls
+	// executed.
+	PowerOps int
+	// TotalWaitMS is the total request wait (readiness) time — the
+	// source of any execution-time penalty.
+	TotalWaitMS float64
+	// Timelines holds the per-disk state timelines when
+	// Config.RecordTimeline was set.
+	Timelines [][]Segment
+}
+
+// Run simulates the trace under the configuration and returns the
+// result.
+func Run(tr *trace.Trace, cfg Config) (*Result, error) {
+	if err := cfg.Disk.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.PowerCallOverheadMS < 0 {
+		return nil, fmt.Errorf("sim: negative power call overhead")
+	}
+	m := NewMachine(tr.NumDisks, cfg.Disk)
+	if cfg.DistanceAwareSeek {
+		m.EnableDistanceSeek(cfg.Disk.CapacityBlocks())
+	}
+	if cfg.RecordTimeline {
+		m.EnableTimeline()
+	}
+	clock := 0.0
+	powerOps := 0
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		clock += ev.GapMS
+		switch ev.Kind {
+		case trace.EvPowerOp:
+			if cfg.IgnorePowerOps {
+				continue
+			}
+			op := &ev.Op
+			switch op.Kind {
+			case trace.OpSpinDown:
+				m.SpinDownAt(op.Disk, clock)
+			case trace.OpSpinUp:
+				m.SpinUpAt(op.Disk, clock)
+			case trace.OpSetRPM:
+				m.SetRPMAt(op.Disk, clock, op.RPM)
+			}
+			powerOps++
+			clock += cfg.PowerCallOverheadMS
+		case trace.EvRequest:
+			d := ev.Req.Disk
+			if cfg.Policy != nil {
+				cfg.Policy.BeforeService(m, d, clock)
+			}
+			end := m.ServiceBlock(d, clock, ev.Req.Bytes, ev.Req.Block)
+			if cfg.Policy != nil {
+				cfg.Policy.AfterService(m, d, end, end-clock)
+			}
+			clock = end
+		}
+	}
+	if cfg.Policy != nil {
+		cfg.Policy.Finish(m, clock)
+	}
+	stats, idles := m.Finish(clock)
+	res := &Result{
+		Program:  tr.Program,
+		ExecMS:   clock,
+		Disks:    stats,
+		Idles:    idles,
+		PowerOps: powerOps,
+	}
+	if cfg.RecordTimeline {
+		res.Timelines = m.Timelines()
+	}
+	if cfg.Policy != nil {
+		res.Scheme = cfg.Policy.Name()
+	}
+	for d := range stats {
+		res.EnergyJ += stats[d].EnergyJ
+		res.Requests += stats[d].Requests
+		res.TotalWaitMS += stats[d].WaitMS
+	}
+	return res, nil
+}

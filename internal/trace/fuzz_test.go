@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode exercises the trace decoder with arbitrary inputs: it
+// must never panic, and anything it accepts must survive an
+// encode-and-redecode round trip at the record level.
+func FuzzDecode(f *testing.F) {
+	var seed bytes.Buffer
+	_ = sampleTrace().Encode(&seed)
+	f.Add(seed.String())
+	f.Add("# sdpm-trace v1\nH p 2\nR 0.5 1 2 512 w 0.25 f 3 1 42\n")
+	f.Add("H p 1\nP 0 set_rpm 4200 0 73.5\n")
+	f.Add("")
+	f.Add("H")
+	f.Add("R 0 0 0 64 r 0 - 0 0 0")
+	f.Add("H p 1\nR nan 0 0 64 r 0 - 0 0 0")
+	f.Fuzz(func(t *testing.T, src string) {
+		tr, err := Decode(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode and decode to the same
+		// number of events of the same kinds.
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			t.Fatalf("encode of decoded trace failed: %v", err)
+		}
+		tr2, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v\n%s", err, buf.String())
+		}
+		if len(tr2.Events) != len(tr.Events) {
+			t.Fatalf("event count changed: %d -> %d", len(tr.Events), len(tr2.Events))
+		}
+		for i := range tr.Events {
+			if tr.Events[i].Kind != tr2.Events[i].Kind {
+				t.Fatalf("event %d kind changed", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,72 @@
+package workloads
+
+import (
+	"fmt"
+
+	"sdpm/internal/ir"
+)
+
+// Applu models 173.applu: an SSOR solver over two independent field
+// families — the solution side {u, a, c} and the residual side
+// {rsd, b, d} (~52MB) — plus a 2.5MB pivot panel traversed
+// column-wise against its layout. The phase nests carry one
+// statement per family, so the program fissions into the two family
+// groups plus the panel (LF+DL applies), and the transposed panel
+// sweep gives TL+DL something to repair — matching applu's behaviour
+// in Figure 13, where it benefits from both transformations.
+func Applu() *Benchmark {
+	b := ir.NewBuilder("applu")
+	u := b.Array2D("u", 1536, 1024) // 12MB, 192 units
+	rsd := b.Array2D("rsd", 1536, 1024)
+	a := b.Array2D("a", 1024, 1024) // 8MB, 128 units
+	bb := b.Array2D("b", 1024, 1024)
+	c := b.Array2D("c", 768, 1024) // 6MB, 96 units
+	d := b.Array2D("d", 768, 1024)
+	e := b.Array2D("e", 1280, 256) // 2.5MB, 40 units: pivot panel
+
+	at := func(x *ir.Array) ir.Ref { return ir.R(x, ir.Var(0), ir.Var(1)) }
+	wr := func(x *ir.Array) ir.Ref { return ir.W(x, ir.Var(0), ir.Var(1)) }
+
+	iA := int64(1024) * 1024
+	iC := int64(768) * 1024
+	uA, uC := units(a), units(c) // 128, 96
+
+	for cy := 0; cy < 3; cy++ {
+		l := func(name string) string { return fmt.Sprintf("%s%d", name, cy) }
+		// Jacobian assembly: each side reads the leading rows of its
+		// 12MB field (the 1024x1024 window touches 128 units) and
+		// fills its 8MB block.
+		cst := split(costFor(iA, 2*2*uA, 10.6), 2)
+		b.Nest(l("jacld"), ir.L("i", 1024), ir.L("j", 1024)).
+			Stmt(cst[0], wr(a), ir.R(u, ir.Var(0), ir.Var(1))).
+			Stmt(cst[1], wr(bb), ir.R(rsd, ir.Var(0), ir.Var(1)))
+		// Lower/upper triangular sweeps: 768-row windows of u/a plus
+		// full sweeps of c/d — 96 units per stream.
+		cst = split(costFor(iC, 2*3*uC, 10.4), 2)
+		b.Nest(l("blts"), ir.L("i", 768), ir.L("j", 1024)).
+			Stmt(cst[0], wr(c), at(u), at(a)).
+			Stmt(cst[1], wr(d), at(rsd), at(bb))
+		// Field update.
+		cst = split(costFor(iC, 2*3*uC, 10.5), 2)
+		b.Nest(l("buts"), ir.L("i", 768), ir.L("j", 1024)).
+			Stmt(cst[0], ir.W(u, ir.Var(0), ir.Var(1)), at(c), at(a)).
+			Stmt(cst[1], ir.W(rsd, ir.Var(0), ir.Var(1)), at(d), at(bb))
+	}
+	// The non-conforming pivot traversal: e[j][i] with j innermost
+	// cycles through all 40 stripe units of the panel once per run —
+	// beyond the buffer cache — for 64 x 40 = 2560 requests.
+	b.Nest("pivot", ir.L("i", 64), ir.L("j", 1280)).
+		Stmt(costFor(64*1280, 64*40, 8.2),
+			ir.R(e, ir.Var(1), ir.Var(0)))
+
+	return &Benchmark{
+		Name:        "applu",
+		Program:     b.MustBuild(),
+		CacheUnits:  DefaultCacheUnits,
+		NoisePct:    10,
+		BiasPct:     23,
+		Seed:        173,
+		Paper:       Targets{DataMB: 54.7, Requests: 7004, EnergyJ: 5875.11, ExecMS: 70142.24},
+		Fissionable: true,
+	}
+}

@@ -1,0 +1,47 @@
+package workloads
+
+import (
+	"fmt"
+
+	"sdpm/internal/ir"
+)
+
+// Galgel models 178.galgel: a Galerkin spectral solver over four 4MB
+// coefficient matrices (16MB) swept eight times. Every sweep is a
+// single statement coupling all four matrices, so no nest is
+// fissionable, and every access conforms to the row-major layouts —
+// which is why galgel gains nothing from either LF+DL or TL+DL in
+// the paper's Figure 13.
+func Galgel() *Benchmark {
+	const n0, n1 = 512, 1024 // 4MB per matrix
+	b := ir.NewBuilder("galgel")
+	g := make([]*ir.Array, 4)
+	for i := range g {
+		g[i] = b.Array2D(fmt.Sprintf("g%d", i+1), n0, n1)
+	}
+	at := func(a *ir.Array) ir.Ref { return ir.R(a, ir.Var(0), ir.Var(1)) }
+	wr := func(a *ir.Array) ir.Ref { return ir.W(a, ir.Var(0), ir.Var(1)) }
+
+	iters := int64(n0) * int64(n1)
+	un := units(g[0]) // 64 units per matrix
+	// Eight Galerkin sweeps; each touches all four matrices. The
+	// per-request periods vary across sweeps (9..12ms), providing
+	// the per-nest heterogeneity of a real iterative solver.
+	periods := []float64{9.0, 10.5, 11.5, 9.5, 10.0, 12.0, 9.2, 10.8}
+	for s := 0; s < 8; s++ {
+		cost := costFor(iters, 4*un, periods[s])
+		out := g[(s+3)%4]
+		b.Nest(fmt.Sprintf("galerkin%d", s), ir.L("i", n0), ir.L("j", n1)).
+			Stmt(cost, wr(out), at(g[s%4]), at(g[(s+1)%4]), at(g[(s+2)%4]))
+	}
+	return &Benchmark{
+		Name:        "galgel",
+		Program:     b.MustBuild(),
+		CacheUnits:  DefaultCacheUnits,
+		NoisePct:    10,
+		BiasPct:     22,
+		Seed:        178,
+		Paper:       Targets{DataMB: 16.0, Requests: 2048, EnergyJ: 1715.37, ExecMS: 20478.80},
+		Fissionable: false,
+	}
+}

@@ -1,0 +1,59 @@
+package workloads
+
+import (
+	"fmt"
+
+	"sdpm/internal/ir"
+)
+
+// Mesa models 177.mesa: a software-rendering pipeline over six 3.25MB
+// buffers (vertex/normal data {m1,m2}, texture coordinates {m3,m4},
+// frame/depth buffers {m5,m6}) processed in four pipeline rounds,
+// plus a 5MB texture image that one sampling pass walks column-wise
+// against its row-major layout. The round nests carry independent
+// per-family statements (LF+DL applies) and the transposed sampling
+// pass gives TL+DL its opportunity, matching mesa's behaviour in
+// Figure 13 (it benefits from both transformations).
+func Mesa() *Benchmark {
+	const n0, n1 = 416, 1024 // 3.25MB per buffer, 52 units
+	b := ir.NewBuilder("mesa")
+	m := make([]*ir.Array, 7)
+	for i := 1; i <= 6; i++ {
+		m[i] = b.Array2D(fmt.Sprintf("m%d", i), n0, n1)
+	}
+	tex := b.Array2D("tex", 512, 1280) // 5MB, 80 units
+
+	at := func(x *ir.Array) ir.Ref { return ir.R(x, ir.Var(0), ir.Var(1)) }
+	wr := func(x *ir.Array) ir.Ref { return ir.W(x, ir.Var(0), ir.Var(1)) }
+
+	iters := int64(n0) * int64(n1)
+	un := units(m[1]) // 52 units per buffer
+	for round := 0; round < 4; round++ {
+		l := func(name string) string { return fmt.Sprintf("%s%d", name, round) }
+		cst := split(costFor(iters, 2*2*un, 11.4), 2)
+		b.Nest(l("xform"), ir.L("i", n0), ir.L("j", n1)).
+			Stmt(cst[0], wr(m[2]), at(m[1])).
+			Stmt(cst[1], wr(m[4]), at(m[3]))
+		cst = split(costFor(iters, 2*2*un, 11.6), 2)
+		b.Nest(l("shade"), ir.L("i", n0), ir.L("j", n1)).
+			Stmt(cst[0], wr(m[1]), at(m[2])).
+			Stmt(cst[1], wr(m[6]), at(m[5]))
+	}
+	// The texture-sampling pass walks the row-major texture
+	// column-wise: 80 stripe units per run, 16 runs — 1280
+	// cache-thrashing requests from a 5MB image.
+	b.Nest("texsample", ir.L("i", 16), ir.L("j", 512)).
+		Stmt(costFor(16*512, 16*80, 8.5),
+			ir.R(tex, ir.Var(1), ir.Var(0)))
+
+	return &Benchmark{
+		Name:        "mesa",
+		Program:     b.MustBuild(),
+		CacheUnits:  DefaultCacheUnits,
+		NoisePct:    10,
+		BiasPct:     15,
+		Seed:        177,
+		Paper:       Targets{DataMB: 24.0, Requests: 3072, EnergyJ: 2667.00, ExecMS: 31869.54},
+		Fissionable: true,
+	}
+}

@@ -1,0 +1,128 @@
+package workloads
+
+import (
+	"fmt"
+
+	"sdpm/internal/ir"
+)
+
+// Mgrid models 172.mgrid: V-cycle multigrid over two independent
+// field hierarchies (a potential field u and a workspace field w),
+// three levels each (5MB, 1MB, 0.125MB per field plus a residual per
+// level; ~24.5MB total), seven V-cycles. Every phase nest carries
+// one statement per hierarchy, and the two hierarchies share no
+// arrays, so the program is fissionable into two array groups — the
+// property that gives mgrid its LF+DL benefit in Figure 13. Note
+// how the request rate varies strongly between fine- and
+// coarse-level nests; this heterogeneity is what spreads mgrid's
+// per-disk idle periods across the DRPM decision boundaries.
+func Mgrid() *Benchmark {
+	b := ir.NewBuilder("mgrid")
+	type side struct {
+		f0, r0, f1, r1, f2, r2 *ir.Array
+	}
+	mk := func(prefix string) side {
+		return side{
+			f0: b.Array2D(prefix+"0", 1024, 640), // 5MB, 80 units
+			r0: b.Array2D("r"+prefix+"0", 1024, 640),
+			f1: b.Array2D(prefix+"1", 512, 256), // 1MB, 16 units
+			r1: b.Array2D("r"+prefix+"1", 512, 256),
+			f2: b.Array2D(prefix+"2", 256, 64), // 0.125MB, 2 units
+			r2: b.Array2D("r"+prefix+"2", 256, 64),
+		}
+	}
+	u := mk("u")
+	w := mk("w")
+
+	at := func(x *ir.Array) ir.Ref { return ir.R(x, ir.Var(0), ir.Var(1)) }
+	wr := func(x *ir.Array) ir.Ref { return ir.W(x, ir.Var(0), ir.Var(1)) }
+
+	i0 := int64(1024) * 640
+	i1 := int64(512) * 256
+	i2 := int64(256) * 64
+	u0, u1 := units(u.f0), units(u.f1) // 80, 16
+	u2 := units(u.f2)                  // 2
+
+	for cy := 0; cy < 7; cy++ {
+		l := func(name string) string { return fmt.Sprintf("%s%d", name, cy) }
+		// Pre-smoothing on the fine grid: 2 fields per side.
+		c := split(costFor(i0, 2*2*u0, 11.2), 2)
+		b.Nest(l("smooth0"), ir.L("i", 1024), ir.L("j", 640)).
+			Stmt(c[0], wr(u.f0), at(u.f0), at(u.r0)).
+			Stmt(c[1], wr(w.f0), at(w.f0), at(w.r0))
+		// Restriction to level 1 (iterates the coarse index space,
+		// reading the fine grid at stride 2).
+		c = split(costFor(i1, 2*(u0+u0+u1), 10.0), 2)
+		b.Nest(l("rprj1"), ir.L("i", 512), ir.L("j", 256)).
+			Stmt(c[0], wr(u.r1),
+				ir.R(u.r0, ir.Var(0).Times(2), ir.Var(1).Times(2)),
+				ir.R(u.f0, ir.Var(0).Times(2), ir.Var(1).Times(2))).
+			Stmt(c[1], wr(w.r1),
+				ir.R(w.r0, ir.Var(0).Times(2), ir.Var(1).Times(2)),
+				ir.R(w.f0, ir.Var(0).Times(2), ir.Var(1).Times(2)))
+		// Level-1 smoothing.
+		c = split(costFor(i1, 2*2*u1, 9.0), 2)
+		b.Nest(l("smooth1"), ir.L("i", 512), ir.L("j", 256)).
+			Stmt(c[0], wr(u.f1), at(u.f1), at(u.r1)).
+			Stmt(c[1], wr(w.f1), at(w.f1), at(w.r1))
+		// Restriction to level 2.
+		c = split(costFor(i2, 2*(u1+u1+u2), 8.0), 2)
+		b.Nest(l("rprj2"), ir.L("i", 256), ir.L("j", 64)).
+			Stmt(c[0], wr(u.r2),
+				ir.R(u.r1, ir.Var(0).Times(2), ir.Var(1).Times(2)),
+				ir.R(u.f1, ir.Var(0).Times(2), ir.Var(1).Times(2))).
+			Stmt(c[1], wr(w.r2),
+				ir.R(w.r1, ir.Var(0).Times(2), ir.Var(1).Times(2)),
+				ir.R(w.f1, ir.Var(0).Times(2), ir.Var(1).Times(2)))
+		// Coarsest smoothing (tiny; often buffer-cache resident).
+		c = split(costFor(i2, 2*2*u2, 7.5), 2)
+		b.Nest(l("smooth2"), ir.L("i", 256), ir.L("j", 64)).
+			Stmt(c[0], wr(u.f2), at(u.f2), at(u.r2)).
+			Stmt(c[1], wr(w.f2), at(w.f2), at(w.r2))
+		// Prolongation back to level 1: iterate the coarse (level-2)
+		// space, write the level-1 field at stride 2, read level 2
+		// pointwise.
+		c = split(costFor(i2, 2*(u1+u2), 9.0), 2)
+		b.Nest(l("interp1"), ir.L("i", 256), ir.L("j", 64)).
+			Stmt(c[0],
+				ir.W(u.f1, ir.Var(0).Times(2), ir.Var(1).Times(2)),
+				at(u.f2)).
+			Stmt(c[1],
+				ir.W(w.f1, ir.Var(0).Times(2), ir.Var(1).Times(2)),
+				at(w.f2))
+		// Post-smoothing on level 1.
+		c = split(costFor(i1, 2*2*u1, 9.5), 2)
+		b.Nest(l("smooth1b"), ir.L("i", 512), ir.L("j", 256)).
+			Stmt(c[0], wr(u.f1), at(u.f1), at(u.r1)).
+			Stmt(c[1], wr(w.f1), at(w.f1), at(w.r1))
+		// Prolongation to the fine grid: iterate the level-1 space,
+		// write the fine field at stride 2, read level 1 pointwise.
+		c = split(costFor(i1, 2*(u0+u1), 10.5), 2)
+		b.Nest(l("interp0"), ir.L("i", 512), ir.L("j", 256)).
+			Stmt(c[0],
+				ir.W(u.f0, ir.Var(0).Times(2), ir.Var(1).Times(2)),
+				at(u.f1)).
+			Stmt(c[1],
+				ir.W(w.f0, ir.Var(0).Times(2), ir.Var(1).Times(2)),
+				at(w.f1))
+		// Two post-smoothing sweeps on the fine grid.
+		c = split(costFor(i0, 2*2*u0, 11.0), 2)
+		b.Nest(l("smooth0b"), ir.L("i", 1024), ir.L("j", 640)).
+			Stmt(c[0], wr(u.f0), at(u.f0), at(u.r0)).
+			Stmt(c[1], wr(w.f0), at(w.f0), at(w.r0))
+		b.Nest(l("smooth0c"), ir.L("i", 1024), ir.L("j", 640)).
+			Stmt(c[0], wr(u.f0), at(u.f0), at(u.r0)).
+			Stmt(c[1], wr(w.f0), at(w.f0), at(w.r0))
+	}
+
+	return &Benchmark{
+		Name:        "mgrid",
+		Program:     b.MustBuild(),
+		CacheUnits:  DefaultCacheUnits,
+		NoisePct:    10,
+		BiasPct:     15,
+		Seed:        172,
+		Paper:       Targets{DataMB: 24.7, Requests: 12288, EnergyJ: 10600.54, ExecMS: 126651.12},
+		Fissionable: true,
+	}
+}

@@ -1,0 +1,67 @@
+package workloads
+
+import "sdpm/internal/ir"
+
+// Swim models 171.swim: a shallow-water stencil over twelve 8MB
+// fields (96MB), one time step of three sweeps (CALC1, CALC2,
+// CALC3). Every sweep consists of statement groups over disjoint
+// field families, so the program is fully fissionable into the three
+// array groups {u,cu,unew,uold}, {v,cv,vnew,vold}, {p,z,h,pnew} —
+// the property that makes LF+DL effective on swim (Fig. 13). All
+// accesses conform to the row-major layouts.
+func Swim() *Benchmark {
+	const n0, n1 = 1024, 1024 // 8MB per field
+	b := ir.NewBuilder("swim")
+	u := b.Array2D("u", n0, n1)
+	v := b.Array2D("v", n0, n1)
+	p := b.Array2D("p", n0, n1)
+	cu := b.Array2D("cu", n0, n1)
+	cv := b.Array2D("cv", n0, n1)
+	z := b.Array2D("z", n0, n1)
+	h := b.Array2D("h", n0, n1)
+	unew := b.Array2D("unew", n0, n1)
+	vnew := b.Array2D("vnew", n0, n1)
+	pnew := b.Array2D("pnew", n0, n1)
+	uold := b.Array2D("uold", n0, n1)
+	vold := b.Array2D("vold", n0, n1)
+
+	at := func(a *ir.Array) ir.Ref { return ir.R(a, ir.Var(0), ir.Var(1)) }
+	wr := func(a *ir.Array) ir.Ref { return ir.W(a, ir.Var(0), ir.Var(1)) }
+
+	iters := int64(n0) * int64(n1)
+	un := units(u) // 128 units per field
+
+	// CALC1: capacities and vorticity; 4 uncoupled statement groups
+	// touching 7 distinct fields -> 7*128 requests at 8.0ms/request.
+	c1 := split(costFor(iters, 7*un, 8.0), 4)
+	b.Nest("calc1", ir.L("i", n0), ir.L("j", n1)).
+		Stmt(c1[0], wr(cu), at(u)).
+		Stmt(c1[1], wr(cv), at(v)).
+		Stmt(c1[2], wr(z), at(p)).
+		Stmt(c1[3], wr(h), at(p))
+
+	// CALC2: new field values; 10 distinct fields at 11.5ms/request.
+	c2 := split(costFor(iters, 10*un, 11.5), 3)
+	b.Nest("calc2", ir.L("i", n0), ir.L("j", n1)).
+		Stmt(c2[0], wr(unew), at(u), at(cu)).
+		Stmt(c2[1], wr(vnew), at(v), at(cv)).
+		Stmt(c2[2], wr(pnew), at(p), at(z), at(h))
+
+	// CALC3: time smoothing; 8 distinct fields at 10.3ms/request.
+	c3 := split(costFor(iters, 8*un, 10.3), 3)
+	b.Nest("calc3", ir.L("i", n0), ir.L("j", n1)).
+		Stmt(c3[0], at(unew), wr(u), wr(uold)).
+		Stmt(c3[1], at(vnew), wr(v), wr(vold)).
+		Stmt(c3[2], at(pnew), wr(p))
+
+	return &Benchmark{
+		Name:        "swim",
+		Program:     b.MustBuild(),
+		CacheUnits:  DefaultCacheUnits,
+		NoisePct:    6,
+		BiasPct:     4,
+		Seed:        171,
+		Paper:       Targets{DataMB: 96.0, Requests: 3159, EnergyJ: 2686.79, ExecMS: 32088.98},
+		Fissionable: true,
+	}
+}

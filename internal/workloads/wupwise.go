@@ -1,0 +1,60 @@
+package workloads
+
+import (
+	"fmt"
+
+	"sdpm/internal/ir"
+)
+
+// Wupwise models 168.wupwise: lattice-QCD style dense linear algebra
+// over four ~44MB matrices (three update sweeps repeated three
+// times) plus a smaller working panel that one routine traverses
+// column-wise against its row-major layout. Every nest is a single
+// coupled statement, so nothing is fissionable — but the transposed
+// panel traversal thrashes the buffer cache, and layout-aware tiling
+// (TL+DL) repairs exactly that, which is how wupwise gains from
+// TL+DL but not LF+DL in the paper's Figure 13.
+func Wupwise() *Benchmark {
+	const n0, n1 = 2048, 2688 // 44.0MB, 672 units per matrix
+	b := ir.NewBuilder("wupwise")
+	a := b.Array2D("a", n0, n1)
+	bb := b.Array2D("b", n0, n1)
+	c := b.Array2D("c", n0, n1)
+	d := b.Array2D("d", n0, n1)
+	e := b.Array2D("e", 3456, 192) // 5.1MB, 81 units: the panel
+
+	at := func(x *ir.Array) ir.Ref { return ir.R(x, ir.Var(0), ir.Var(1)) }
+	wr := func(x *ir.Array) ir.Ref { return ir.W(x, ir.Var(0), ir.Var(1)) }
+
+	iters := int64(n0) * int64(n1)
+	un := units(a) // 672
+	for cycle := 0; cycle < 3; cycle++ {
+		// Three coupled full-matrix sweeps per cycle, ~11.5ms per
+		// request.
+		b.Nest(fmt.Sprintf("zgemm%d", cycle), ir.L("i", n0), ir.L("j", n1)).
+			Stmt(costFor(iters, 3*un, 11.4), wr(c), at(a), at(bb))
+		b.Nest(fmt.Sprintf("zaxpy%d", cycle), ir.L("i", n0), ir.L("j", n1)).
+			Stmt(costFor(iters, 3*un, 11.6), wr(d), at(c), at(a))
+		b.Nest(fmt.Sprintf("zcopy%d", cycle), ir.L("i", n0), ir.L("j", n1)).
+			Stmt(costFor(iters, 3*un, 11.5), wr(bb), at(d), at(c))
+	}
+	// The non-conforming panel traversal: e[j][i] with j innermost
+	// walks down the columns of the row-major panel, entering a new
+	// stripe unit every 32 steps and cycling through all 81 units of
+	// the panel once per run — far beyond the buffer cache — for
+	// 64 x 81 = 5184 requests from a 5MB array.
+	b.Nest("su3mul", ir.L("i", 64), ir.L("j", 3456)).
+		Stmt(costFor(64*3456, 64*81, 8.0),
+			ir.R(e, ir.Var(1), ir.Var(0)))
+
+	return &Benchmark{
+		Name:        "wupwise",
+		Program:     b.MustBuild(),
+		CacheUnits:  DefaultCacheUnits,
+		NoisePct:    4,
+		BiasPct:     5,
+		Seed:        168,
+		Paper:       Targets{DataMB: 176.7, Requests: 24718, EnergyJ: 20835.96, ExecMS: 248790.00},
+		Fissionable: false,
+	}
+}

@@ -1,0 +1,72 @@
+package xform
+
+import (
+	"sdpm/internal/ir"
+)
+
+// Interchange swaps the two loops of every depth-2 nest whose access
+// pattern does not conform to the storage layouts and would conform
+// after the swap — the classical loop-interchange remedy for
+// transposed traversals, implementing the paper's closing remark that
+// "most of the other known loop transformations can also be adapted
+// to work with disk layouts". Unlike TL+DL it requires no layout
+// change at all: it fixes the iteration order instead of the data
+// order. It returns the transformed program and the labels of the
+// nests it interchanged.
+func Interchange(p *ir.Program) (*ir.Program, []string) {
+	cp := p.Clone()
+	var changed []string
+	for _, n := range cp.Nests {
+		if n.Depth() != 2 {
+			continue
+		}
+		if nonConformBytes(n, false) > nonConformBytes(n, true) {
+			swapLoops(n)
+			changed = append(changed, n.Label)
+		}
+	}
+	return cp, changed
+}
+
+// nonConformBytes scores a nest's layout conformance: the total
+// absolute byte stride its references take per innermost iteration
+// (optionally as if the two loops were swapped). Lower is better — a
+// perfectly conforming sweep strides by one element.
+func nonConformBytes(n *ir.Nest, swapped bool) int64 {
+	inner := 1
+	if swapped {
+		inner = 0
+	}
+	var total int64
+	for _, s := range n.Stmts {
+		for ri := range s.Refs {
+			r := &s.Refs[ri]
+			if r.Array.Block != nil {
+				continue
+			}
+			var stride int64
+			for dim, e := range r.Index {
+				stride += e.CoeffAt(inner) * r.Array.InnerStride(dim)
+			}
+			if stride < 0 {
+				stride = -stride
+			}
+			total += stride
+		}
+	}
+	return total
+}
+
+// swapLoops interchanges the two loops of a depth-2 nest, rewriting
+// every subscript's coefficients accordingly.
+func swapLoops(n *ir.Nest) {
+	n.Loops[0], n.Loops[1] = n.Loops[1], n.Loops[0]
+	for _, s := range n.Stmts {
+		for ri := range s.Refs {
+			for di, e := range s.Refs[ri].Index {
+				c0, c1 := e.CoeffAt(0), e.CoeffAt(1)
+				s.Refs[ri].Index[di] = ir.Expr{Coeffs: []int64{c1, c0}, Const: e.Const}
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package xform
+
+import (
+	"reflect"
+	"testing"
+
+	"sdpm/internal/ir"
+)
+
+func TestInterchangeFixesTransposedNest(t *testing.T) {
+	b := ir.NewBuilder("p")
+	u := b.Array2D("u", 64, 128)
+	v := b.Array2D("v", 64, 128)
+	// n0 conforming, n1 transposed.
+	b.Nest("good", ir.L("i", 64), ir.L("j", 128)).
+		Stmt(1, ir.R(u, ir.Var(0), ir.Var(1)))
+	b.Nest("bad", ir.L("c", 128), ir.L("r", 64)).
+		Stmt(1, ir.R(v, ir.Var(1), ir.Var(0)))
+	p := b.MustBuild()
+
+	ip, changed := Interchange(p)
+	if len(changed) != 1 || changed[0] != "bad" {
+		t.Fatalf("changed = %v", changed)
+	}
+	if err := ip.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The conforming nest is untouched.
+	if !reflect.DeepEqual(ip.Nests[0].Loops, p.Nests[0].Loops) {
+		t.Error("conforming nest modified")
+	}
+	// The transposed nest now iterates rows outermost.
+	n := ip.Nests[1]
+	if n.Loops[0].Name != "r" || n.Loops[1].Name != "c" {
+		t.Errorf("loops = %+v", n.Loops)
+	}
+	// After interchange the ref v[r][c] is driven by the new loop
+	// order: innermost variable must stride by one element.
+	if got := nonConformBytes(n, false); got != 8 {
+		t.Errorf("post-interchange stride = %d, want 8", got)
+	}
+	// The original program is untouched.
+	if p.Nests[1].Loops[0].Name != "c" {
+		t.Error("Interchange mutated input")
+	}
+}
+
+func TestInterchangePreservesElements(t *testing.T) {
+	b := ir.NewBuilder("p")
+	v := b.Array2D("v", 16, 24)
+	b.Nest("bad", ir.L("c", 24), ir.L("r", 16)).
+		Stmt(1, ir.R(v, ir.Var(1), ir.Var(0)))
+	p := b.MustBuild()
+	ip, changed := Interchange(p)
+	if len(changed) != 1 {
+		t.Fatal("nothing interchanged")
+	}
+	if ip.Nests[0].Trips() != p.Nests[0].Trips() {
+		t.Error("trip count changed")
+	}
+	before := elementSet(t, p)
+	after := elementSet(t, ip)
+	if len(before) != len(after) {
+		t.Fatalf("element counts differ")
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("element multiset changed")
+		}
+	}
+}
+
+func TestInterchangeSkipsConformingAndDeep(t *testing.T) {
+	b := ir.NewBuilder("p")
+	u := b.Array2D("u", 16, 16)
+	w := b.Array3D("w", 8, 8, 8)
+	b.Nest("flat", ir.L("i", 16), ir.L("j", 16)).
+		Stmt(1, ir.R(u, ir.Var(0), ir.Var(1)))
+	b.Nest("deep", ir.L("i", 8), ir.L("j", 8), ir.L("k", 8)).
+		Stmt(1, ir.R(w, ir.Var(2), ir.Var(1), ir.Var(0))) // transposed but depth 3
+	p := b.MustBuild()
+	_, changed := Interchange(p)
+	if len(changed) != 0 {
+		t.Errorf("changed = %v", changed)
+	}
+}
+
+func TestInterchangeSkipsBlockedArrays(t *testing.T) {
+	b := ir.NewBuilder("p")
+	u := b.Array2D("u", 16, 16)
+	u.Block = []int64{4, 4}
+	b.Nest("n", ir.L("c", 16), ir.L("r", 16)).
+		Stmt(1, ir.R(u, ir.Var(1), ir.Var(0)))
+	p := b.MustBuild()
+	// Blocked arrays are excluded from the conformance score, so this
+	// nest scores zero both ways and stays put.
+	_, changed := Interchange(p)
+	if len(changed) != 0 {
+		t.Errorf("changed = %v", changed)
+	}
+}

@@ -1,0 +1,277 @@
+// Package xform implements the paper's layout-aware code
+// transformations (Section 6):
+//
+//   - Loop fission (distribution) with array grouping and
+//     proportional disk allocation (Figure 11). Statements that share
+//     no arrays are split into separate nests; arrays coupled through
+//     statements form array groups; each group is assigned a disjoint
+//     set of disks sized proportionally to the group's data, so that
+//     while one group is being accessed the other groups' disks can
+//     be placed into low-power modes.
+//
+//   - Layout-aware loop tiling (Figure 12). The costliest nest is
+//     tiled so that one iteration tile touches exactly one stored
+//     data tile per array; arrays whose access pattern does not
+//     conform to their storage order are layout-transposed, arrays
+//     are re-stored in blocked (tile-contiguous) order, and each
+//     array's stripe size is set to its per-tile data size DS(i), so
+//     tiles map one-to-one onto stripe units and co-used tiles
+//     collocate on the same disk.
+//
+// Both transformations are also available in layout-oblivious form
+// (the paper's LF and TL versions) by simply not applying the layout
+// assignments they compute.
+package xform
+
+import (
+	"fmt"
+
+	"sdpm/internal/ir"
+	"sdpm/internal/layout"
+)
+
+// Fission applies maximal loop distribution to every nest of the
+// program (Figure 11's loop structure part): within each nest,
+// statements are grouped by shared arrays (two statements that
+// reference a common array are data-coupled and stay together), and
+// each group becomes its own nest. Nests whose statements are all
+// coupled are left intact — such nests are "not fissionable" in the
+// paper's terms.
+func Fission(p *ir.Program) *ir.Program {
+	cp := p.Clone()
+	var nests []*ir.Nest
+	for _, n := range cp.Nests {
+		groups := stmtGroups(n)
+		if len(groups) == 1 {
+			nests = append(nests, n)
+			continue
+		}
+		for gi, g := range groups {
+			nests = append(nests, &ir.Nest{
+				Label: fmt.Sprintf("%s_f%d", n.Label, gi),
+				Loops: append([]ir.Loop(nil), n.Loops...),
+				Stmts: g,
+			})
+		}
+	}
+	cp.Nests = nests
+	return cp
+}
+
+// Fissionable reports whether any nest of the program can be
+// distributed into two or more statement groups.
+func Fissionable(p *ir.Program) bool {
+	for _, n := range p.Nests {
+		if len(stmtGroups(n)) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// stmtGroups partitions a nest's statements into array-connected
+// components, preserving statement order within and across groups.
+func stmtGroups(n *ir.Nest) [][]*ir.Stmt {
+	parent := make([]int, len(n.Stmts))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	owner := make(map[*ir.Array]int)
+	for si, s := range n.Stmts {
+		for _, a := range s.Arrays() {
+			if prev, ok := owner[a]; ok {
+				union(si, prev)
+			} else {
+				owner[a] = si
+			}
+		}
+	}
+	order := make(map[int]int)
+	var groups [][]*ir.Stmt
+	for si, s := range n.Stmts {
+		root := find(si)
+		gi, ok := order[root]
+		if !ok {
+			gi = len(groups)
+			order[root] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], s)
+	}
+	return groups
+}
+
+// ClusterByGroup reorders the program's nests so nests over the same
+// array group run consecutively, preserving the original order within
+// each group. After fission, nests of different array groups share no
+// arrays (and hence no data dependences), so the reordering is legal;
+// it lengthens each group's contiguous idle periods, which is the
+// point of the layout-aware distribution. Group order follows each
+// group's first appearance.
+func ClusterByGroup(p *ir.Program) *ir.Program {
+	cp := p.Clone()
+	groups := ArrayGroups(cp)
+	gid := make(map[*ir.Array]int)
+	for i, g := range groups {
+		for _, a := range g {
+			gid[a] = i
+		}
+	}
+	nestGroup := func(n *ir.Nest) int {
+		as := n.Arrays()
+		if len(as) == 0 {
+			return len(groups)
+		}
+		return gid[as[0]]
+	}
+	ordered := make([]*ir.Nest, 0, len(cp.Nests))
+	for g := 0; g <= len(groups); g++ {
+		for _, n := range cp.Nests {
+			if nestGroup(n) == g {
+				ordered = append(ordered, n)
+			}
+		}
+	}
+	cp.Nests = ordered
+	return cp
+}
+
+// ArrayGroups computes the program's array groups (Figure 11): the
+// connected components of the "co-referenced by a statement"
+// relation over arrays, in first-appearance order. Arrays never
+// referenced form their own singleton groups at the end.
+func ArrayGroups(p *ir.Program) [][]*ir.Array {
+	idx := make(map[*ir.Array]int, len(p.Arrays))
+	for i, a := range p.Arrays {
+		idx[a] = i
+	}
+	parent := make([]int, len(p.Arrays))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, n := range p.Nests {
+		for _, s := range n.Stmts {
+			as := s.Arrays()
+			for i := 1; i < len(as); i++ {
+				parent[find(idx[as[i]])] = find(idx[as[0]])
+			}
+		}
+	}
+	order := make(map[int]int)
+	var groups [][]*ir.Array
+	for i, a := range p.Arrays {
+		root := find(i)
+		gi, ok := order[root]
+		if !ok {
+			gi = len(groups)
+			order[root] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], a)
+	}
+	return groups
+}
+
+// AssignGroupDisks allocates the subsystem's disks to the array
+// groups proportionally to each group's total data size (Figure 11's
+// allocation step): every group receives at least one disk, the
+// remainder is distributed by largest share, and each group's arrays
+// are striped over the group's contiguous disk range.
+func AssignGroupDisks(groups [][]*ir.Array, numDisks int, unitBytes int64) (map[string]layout.Striping, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("xform: no array groups")
+	}
+	if len(groups) > numDisks {
+		return nil, fmt.Errorf("xform: %d array groups exceed %d disks", len(groups), numDisks)
+	}
+	sizes := make([]int64, len(groups))
+	var total int64
+	for i, g := range groups {
+		for _, a := range g {
+			sizes[i] += a.SizeBytes()
+		}
+		total += sizes[i]
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("xform: array groups hold no data")
+	}
+	// Proportional allocation with one-disk floors, by largest
+	// remainder.
+	alloc := make([]int, len(groups))
+	remaining := numDisks
+	type rem struct {
+		i    int
+		frac float64
+	}
+	var rems []rem
+	for i := range groups {
+		share := float64(sizes[i]) / float64(total) * float64(numDisks)
+		alloc[i] = int(share)
+		if alloc[i] < 1 {
+			alloc[i] = 1
+		}
+		remaining -= alloc[i]
+		rems = append(rems, rem{i, share - float64(int(share))})
+	}
+	for remaining < 0 {
+		// Floors overshot: take disks back from the largest
+		// allocations.
+		maxI := 0
+		for i := range alloc {
+			if alloc[i] > alloc[maxI] {
+				maxI = i
+			}
+		}
+		if alloc[maxI] <= 1 {
+			return nil, fmt.Errorf("xform: cannot fit %d groups on %d disks", len(groups), numDisks)
+		}
+		alloc[maxI]--
+		remaining++
+	}
+	for remaining > 0 {
+		best := -1
+		for i := range rems {
+			if rems[i].frac >= 0 && (best == -1 || rems[i].frac > rems[best].frac) {
+				best = i
+			}
+		}
+		if best == -1 {
+			// All remainders consumed this cycle; start another.
+			for i := range rems {
+				rems[i].frac = 0
+			}
+			continue
+		}
+		alloc[rems[best].i]++
+		rems[best].frac = -1
+		remaining--
+	}
+	out := make(map[string]layout.Striping)
+	start := 0
+	for i, g := range groups {
+		st := layout.Striping{StartDisk: start, Factor: alloc[i], UnitBytes: unitBytes}
+		for _, a := range g {
+			out[a.Name] = st
+		}
+		start += alloc[i]
+	}
+	return out, nil
+}

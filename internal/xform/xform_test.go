@@ -1,0 +1,203 @@
+package xform
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"sdpm/internal/ir"
+)
+
+// fig9Program reconstructs the shape of the paper's Figure 9 example:
+// three nests over ten equal arrays whose statement structure yields
+// the four array groups {U1,U2,U5}, {U3,U4,U8}, {U6,U7}, {U9,U10}.
+func fig9Program(t *testing.T) *ir.Program {
+	t.Helper()
+	b := ir.NewBuilder("fig9")
+	u := make([]*ir.Array, 11)
+	for i := 1; i <= 10; i++ {
+		u[i] = b.Array1D(arrName(i), 1024)
+	}
+	x := func(a *ir.Array) ir.Ref { return ir.R(a, ir.Var(0)) }
+	b.Nest("n1", ir.L("i", 1024)).
+		Stmt(10, x(u[1]), x(u[2])).
+		Stmt(10, x(u[1]), x(u[5])).
+		Stmt(10, x(u[3]), x(u[4]))
+	b.Nest("n2", ir.L("i", 1024)).
+		Stmt(10, x(u[3]), x(u[8])).
+		Stmt(10, x(u[6]), x(u[7]))
+	b.Nest("n3", ir.L("i", 1024)).
+		Stmt(10, x(u[9]), x(u[10]))
+	return b.MustBuild()
+}
+
+func arrName(i int) string { return fmt.Sprintf("U%d", i) }
+
+func TestFissionSplitsUncoupledStatements(t *testing.T) {
+	p := fig9Program(t)
+	fp := Fission(p)
+	// n1 -> {S1,S2} + {S3}; n2 -> {S4} + {S5}; n3 unchanged.
+	if len(fp.Nests) != 5 {
+		t.Fatalf("nests after fission = %d, want 5", len(fp.Nests))
+	}
+	if err := fp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Statement counts preserved.
+	count := func(q *ir.Program) int {
+		n := 0
+		for _, nest := range q.Nests {
+			n += len(nest.Stmts)
+		}
+		return n
+	}
+	if count(fp) != count(p) {
+		t.Error("statements lost in fission")
+	}
+	// Total compute preserved.
+	if fp.TotalCost() != p.TotalCost() {
+		t.Errorf("cost changed: %d -> %d", fp.TotalCost(), p.TotalCost())
+	}
+	// Original untouched.
+	if len(p.Nests) != 3 {
+		t.Error("fission mutated its input")
+	}
+	if !Fissionable(p) {
+		t.Error("Fissionable = false for fissionable program")
+	}
+}
+
+func TestFissionCoupledNestUnchanged(t *testing.T) {
+	b := ir.NewBuilder("coupled")
+	u := b.Array1D("u", 64)
+	v := b.Array1D("v", 64)
+	w := b.Array1D("w", 64)
+	b.Nest("n", ir.L("i", 64)).
+		Stmt(1, ir.R(u, ir.Var(0)), ir.R(v, ir.Var(0))).
+		Stmt(1, ir.R(v, ir.Var(0)), ir.W(w, ir.Var(0)))
+	p := b.MustBuild()
+	fp := Fission(p)
+	if len(fp.Nests) != 1 || len(fp.Nests[0].Stmts) != 2 {
+		t.Errorf("coupled nest was split: %d nests", len(fp.Nests))
+	}
+	if Fissionable(p) {
+		t.Error("Fissionable = true for coupled program")
+	}
+}
+
+func TestArrayGroupsFig9(t *testing.T) {
+	p := fig9Program(t)
+	groups := ArrayGroups(p)
+	got := make([][]string, len(groups))
+	for i, g := range groups {
+		for _, a := range g {
+			got[i] = append(got[i], a.Name)
+		}
+		sort.Strings(got[i])
+	}
+	want := [][]string{
+		{"U1", "U2", "U5"},
+		{"U3", "U4", "U8"},
+		{"U6", "U7"},
+		{"U9", "U10"},
+	}
+	for i := range want {
+		sort.Strings(want[i])
+	}
+	if len(got) != len(want) {
+		t.Fatalf("groups = %v", got)
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("group %d = %v, want %v", i, got[i], want[i])
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("group %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAssignGroupDisksProportionalDisjoint(t *testing.T) {
+	p := fig9Program(t)
+	groups := ArrayGroups(p)
+	st, err := AssignGroupDisks(groups, 8, 65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st) != 10 {
+		t.Fatalf("stripings for %d arrays", len(st))
+	}
+	// Every array in a group shares the group's striping; group disk
+	// ranges are disjoint and within bounds.
+	used := make([]int, 8)
+	seen := map[int]bool{}
+	for _, g := range groups {
+		s0 := st[g[0].Name]
+		for _, a := range g {
+			if st[a.Name] != s0 {
+				t.Fatalf("group of %s not uniformly striped", a.Name)
+			}
+		}
+		if seen[s0.StartDisk] {
+			t.Fatalf("duplicate start disk %d", s0.StartDisk)
+		}
+		seen[s0.StartDisk] = true
+		for i := 0; i < s0.Factor; i++ {
+			d := s0.StartDisk + i
+			if d >= 8 {
+				t.Fatalf("group overflows disks: %+v", s0)
+			}
+			used[d]++
+		}
+	}
+	for d, c := range used {
+		if c > 1 {
+			t.Fatalf("disk %d assigned to %d groups", d, c)
+		}
+	}
+	// Proportional: group sizes 3:3:2:2 over 8 disks -> 2 disks each.
+	for _, g := range groups {
+		if st[g[0].Name].Factor != 2 {
+			t.Errorf("group of %s got %d disks, want 2", g[0].Name, st[g[0].Name].Factor)
+		}
+	}
+}
+
+func TestAssignGroupDisksSkewedSizes(t *testing.T) {
+	b := ir.NewBuilder("skew")
+	big := b.Array1D("big", 1<<20)
+	small := b.Array1D("small", 1<<10)
+	b.Nest("n1", ir.L("i", 16)).Stmt(1, ir.R(big, ir.Var(0)))
+	b.Nest("n2", ir.L("i", 16)).Stmt(1, ir.R(small, ir.Var(0)))
+	p := b.MustBuild()
+	groups := ArrayGroups(p)
+	st, err := AssignGroupDisks(groups, 8, 65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["big"].Factor < 6 {
+		t.Errorf("big group got %d disks", st["big"].Factor)
+	}
+	if st["small"].Factor < 1 {
+		t.Errorf("small group got %d disks", st["small"].Factor)
+	}
+	if st["big"].Factor+st["small"].Factor != 8 {
+		t.Errorf("allocation does not cover all disks: %d + %d", st["big"].Factor, st["small"].Factor)
+	}
+}
+
+func TestAssignGroupDisksErrors(t *testing.T) {
+	if _, err := AssignGroupDisks(nil, 8, 65536); err == nil {
+		t.Error("empty groups accepted")
+	}
+	b := ir.NewBuilder("many")
+	var groups [][]*ir.Array
+	for i := 0; i < 5; i++ {
+		groups = append(groups, []*ir.Array{b.Array1D(arrName(i+1), 64)})
+	}
+	if _, err := AssignGroupDisks(groups, 4, 65536); err == nil {
+		t.Error("more groups than disks accepted")
+	}
+}
