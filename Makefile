@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet bench experiments examples cover clean
+.PHONY: all check build test test-short vet race bench experiments examples cover clean
 
-all: build test
+all: check
+
+# check is the full gate: build, vet, tests, and the race detector
+# over the concurrent packages (worker pool, instance memo,
+# simulator).
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -18,8 +23,19 @@ test-short:
 vet:
 	$(GO) vet ./...
 
+# race runs the race detector where concurrency lives: the worker
+# pool, the memoizing instance cache, and the simulator packages the
+# parallel experiment engine drives.
+race:
+	$(GO) test -race ./internal/runner ./internal/core ./internal/sim
+
+# bench records the root experiment benchmarks (including the
+# Sequential/Parallel suite pair) and the simulator hot-path
+# allocation benchmarks into results/bench_baseline.txt for
+# regression comparison (see docs/performance.md).
 bench:
-	$(GO) test -bench=. -benchmem .
+	mkdir -p results
+	$(GO) test -bench=. -benchmem . ./internal/sim | tee results/bench_baseline.txt
 
 experiments:
 	$(GO) run ./cmd/dpmexp -run all

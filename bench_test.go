@@ -153,3 +153,24 @@ func BenchmarkEnergyBreakdown(b *testing.B) { benchExperiment(b, "breakdown") }
 // BenchmarkExtensionMultiprogram regenerates the multiprogrammed
 // shared-subsystem extension.
 func BenchmarkExtensionMultiprogram(b *testing.B) { benchExperiment(b, "ext-multiprogram") }
+
+// benchSuite regenerates the scheme matrix (Figure 3: 6 benchmarks x
+// 7 schemes, each cell a full simulation) with a fixed worker count.
+// Comparing Sequential against Parallel shows the worker-pool speedup
+// (roughly min(workers, cells) bounded by the slowest cell) on
+// multi-core machines; both render byte-identical output.
+func benchSuite(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := RunExperiments("fig3", io.Discard, Options{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuiteSequential runs the Figure 3 grid on one worker.
+func BenchmarkSuiteSequential(b *testing.B) { benchSuite(b, 1) }
+
+// BenchmarkSuiteParallel runs the Figure 3 grid on GOMAXPROCS
+// workers.
+func BenchmarkSuiteParallel(b *testing.B) { benchSuite(b, 0) }

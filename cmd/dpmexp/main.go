@@ -18,6 +18,7 @@ import (
 func main() {
 	run := flag.String("run", "all", "experiment id (or 'all')")
 	format := flag.String("format", "text", "output format: text or csv")
+	workers := flag.Int("workers", 0, "worker goroutines per experiment (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -27,7 +28,8 @@ func main() {
 		}
 		return
 	}
-	if err := sdpm.RunExperimentFormat(*run, os.Stdout, *format); err != nil {
+	opts := sdpm.Options{Format: *format, Workers: *workers}
+	if err := sdpm.RunExperiments(*run, os.Stdout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "dpmexp:", err)
 		os.Exit(1)
 	}

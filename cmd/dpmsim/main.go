@@ -7,6 +7,7 @@
 //	dpmtrace -bench swim > swim.trace
 //	dpmsim -trace swim.trace -policy drpm
 //	dpmsim -trace swim.trace -policy embedded   # honor trace power ops
+//	dpmsim -trace swim.trace -policy all        # compare every policy
 package main
 
 import (
@@ -17,17 +18,22 @@ import (
 
 	"sdpm/internal/disk"
 	"sdpm/internal/policy"
+	"sdpm/internal/runner"
 	"sdpm/internal/sim"
 	"sdpm/internal/trace"
 )
 
+// allPolicies is the canonical order of the comparison mode.
+var allPolicies = []string{"base", "tpm", "itpm", "drpm", "idrpm"}
+
 func main() {
 	traceFile := flag.String("trace", "", "trace file (textual format; - for stdin)")
-	pol := flag.String("policy", "base", "policy: base, tpm, itpm, drpm, idrpm, or embedded (execute the trace's power ops)")
+	pol := flag.String("policy", "base", "policy: base, tpm, itpm, drpm, idrpm, embedded (execute the trace's power ops), or all (compare every policy)")
 	perDisk := flag.Bool("perdisk", false, "print per-disk statistics")
 	openLoop := flag.Bool("openloop", false, "open-loop replay (arrival-driven, per-disk FIFO) instead of closed-loop execution")
 	distSeek := flag.Bool("distseek", false, "distance-dependent seek times instead of the datasheet average")
 	timeline := flag.Int("timeline", 0, "print up to N timeline segments per disk")
+	workers := flag.Int("workers", 0, "worker goroutines for -policy all (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
 	flag.Parse()
 
 	if *traceFile == "" {
@@ -50,43 +56,26 @@ func main() {
 	}
 
 	p := disk.DefaultParams()
-	cfg := sim.Config{
+	baseCfg := sim.Config{
 		Disk:                p,
 		PowerCallOverheadMS: sim.DefaultPowerCallOverheadMS,
 		DistanceAwareSeek:   *distSeek,
 		RecordTimeline:      *timeline > 0,
 	}
-	switch strings.ToLower(*pol) {
-	case "base":
-		cfg.Policy = policy.NewBase()
-		cfg.IgnorePowerOps = true
-	case "tpm":
-		cfg.Policy = policy.NewTPM(p, 0)
-		cfg.IgnorePowerOps = true
-	case "itpm":
-		cfg.Policy = policy.NewITPM(p)
-		cfg.IgnorePowerOps = true
-	case "drpm":
-		cfg.Policy = policy.NewDRPM(p, tr.NumDisks)
-		cfg.IgnorePowerOps = true
-	case "idrpm":
-		cfg.Policy = policy.NewIDRPM(p)
-		cfg.IgnorePowerOps = true
-	case "embedded":
-		// No policy: the trace's explicit power ops drive the disks.
-	default:
-		fail(fmt.Errorf("unknown policy %q", *pol))
+
+	if strings.EqualFold(*pol, "all") {
+		if err := runAll(tr, baseCfg, *openLoop, *workers); err != nil {
+			fail(err)
+		}
+		return
 	}
 
-	var res *sim.Result
-	if *openLoop {
-		if cfg.Policy == nil {
-			fail(fmt.Errorf("open-loop replay cannot execute embedded power ops; pick a policy"))
-		}
-		res, err = sim.RunOpenLoop(tr, cfg)
-	} else {
-		res, err = sim.Run(tr, cfg)
+	cfg := baseCfg
+	cfg.Policy, cfg.IgnorePowerOps, err = policyFor(*pol, p, tr.NumDisks)
+	if err != nil {
+		fail(err)
 	}
+	res, err := runOnce(tr, cfg, *openLoop)
 	if err != nil {
 		fail(err)
 	}
@@ -125,6 +114,71 @@ func main() {
 				st.Requests, st.SpinDowns, st.SpinUps, st.RPMShifts)
 		}
 	}
+}
+
+// policyFor builds the named policy; the second result says whether
+// the trace's embedded power ops must be dropped (true for every
+// reactive policy, false for "embedded").
+func policyFor(name string, p disk.Params, numDisks int) (sim.Policy, bool, error) {
+	switch strings.ToLower(name) {
+	case "base":
+		return policy.NewBase(), true, nil
+	case "tpm":
+		return policy.NewTPM(p, 0), true, nil
+	case "itpm":
+		return policy.NewITPM(p), true, nil
+	case "drpm":
+		return policy.NewDRPM(p, numDisks), true, nil
+	case "idrpm":
+		return policy.NewIDRPM(p), true, nil
+	case "embedded":
+		// No policy: the trace's explicit power ops drive the disks.
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+// runOnce executes one simulation in the selected loop mode.
+func runOnce(tr *trace.Trace, cfg sim.Config, openLoop bool) (*sim.Result, error) {
+	if openLoop {
+		if cfg.Policy == nil {
+			return nil, fmt.Errorf("open-loop replay cannot execute embedded power ops; pick a policy")
+		}
+		return sim.RunOpenLoop(tr, cfg)
+	}
+	return sim.Run(tr, cfg)
+}
+
+// runAll simulates the trace under every reactive policy — one worker
+// per policy, each with its own policy state — and prints a
+// comparison table in canonical order (identical for any worker
+// count).
+func runAll(tr *trace.Trace, baseCfg sim.Config, openLoop bool, workers int) error {
+	results := make([]*sim.Result, len(allPolicies))
+	err := runner.New(workers).Map(len(allPolicies), func(i int) error {
+		cfg := baseCfg
+		cfg.RecordTimeline = false
+		var err error
+		cfg.Policy, cfg.IgnorePowerOps, err = policyFor(allPolicies[i], baseCfg.Disk, tr.NumDisks)
+		if err != nil {
+			return err
+		}
+		results[i], err = runOnce(tr, cfg, openLoop)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("program      %s\n", tr.Program)
+	fmt.Printf("disks        %d\n", tr.NumDisks)
+	fmt.Printf("%-8s %12s %12s %12s %10s\n", "policy", "energy(J)", "exec(ms)", "wait(ms)", "power(W)")
+	for i, name := range allPolicies {
+		r := results[i]
+		fmt.Printf("%-8s %12.2f %12.2f %12.2f %10.2f\n",
+			name, r.EnergyJ, r.ExecMS, r.TotalWaitMS, r.EnergyJ/r.ExecMS*1e3)
+	}
+	return nil
 }
 
 func fail(err error) {

@@ -21,29 +21,59 @@ func ExperimentIDs() []string {
 	}
 }
 
+// Options configures RunExperiments.
+type Options struct {
+	// Format selects the rendering: "text" (aligned tables, the
+	// default when empty) or "csv".
+	Format string
+	// Workers bounds each experiment's parallelism: 1 is strictly
+	// sequential, 0 (the default) selects GOMAXPROCS. Output is
+	// byte-identical for every value.
+	Workers int
+}
+
 // RunExperiment regenerates one of the paper's tables or figures (or
 // one of the ablation studies) and renders it to out as plain text.
 // The id "all" runs every experiment in order.
 func RunExperiment(id string, out io.Writer) error {
-	return RunExperimentFormat(id, out, "text")
+	return RunExperiments(id, out, Options{})
 }
 
 // RunExperimentFormat is RunExperiment with an output format: "text"
 // (aligned tables) or "csv".
 func RunExperimentFormat(id string, out io.Writer, format string) error {
+	return RunExperiments(id, out, Options{Format: format})
+}
+
+// RunExperiments regenerates the experiment id (or every experiment,
+// for "all") with the given options. A single suite — and hence a
+// single instance memo — serves the whole call, so "all" prepares
+// each (workload, configuration) pair exactly once across all twenty
+// experiments.
+func RunExperiments(id string, out io.Writer, opts Options) error {
+	format := opts.Format
+	if format == "" {
+		format = "text"
+	}
 	if format != "text" && format != "csv" {
 		return fmt.Errorf("sdpm: unknown format %q (text or csv)", format)
 	}
 	s := experiments.NewSuite()
+	s.Workers = opts.Workers
 	if id == "all" {
 		for _, e := range ExperimentIDs() {
-			if err := RunExperimentFormat(e, out, format); err != nil {
+			if err := runOne(s, e, out, format); err != nil {
 				return err
 			}
 			fmt.Fprintln(out)
 		}
 		return nil
 	}
+	return runOne(s, id, out, format)
+}
+
+// runOne builds and renders a single experiment on a prepared suite.
+func runOne(s *experiments.Suite, id string, out io.Writer, format string) error {
 	text, table, err := buildArtifact(s, id)
 	if err != nil {
 		return err

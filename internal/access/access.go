@@ -14,7 +14,7 @@ package access
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"sdpm/internal/ir"
 	"sdpm/internal/layout"
@@ -135,6 +135,10 @@ func walkNest(ni int, nest *ir.Nest, sub *layout.Subsystem, fn func(Touch) error
 	}
 
 	iv := make([]int64, depth)
+	// scratch is the blocked walker's private iteration vector; it is
+	// allocated once per nest and overwritten per (run, reference)
+	// rather than copied afresh, keeping the outer loop allocation-free.
+	scratch := make([]int64, depth)
 	var touches []pendingTouch
 	for outer := int64(0); outer < outerTrips; outer++ {
 		// Build the iteration vector for this innermost run.
@@ -146,7 +150,7 @@ func walkNest(ni int, nest *ir.Nest, sub *layout.Subsystem, fn func(Touch) error
 			pl := &plans[pi]
 			var err error
 			if pl.blocked {
-				err = collectRunTouchesBlocked(pl, iv, inner, innerTrip, &touches)
+				err = collectRunTouchesBlocked(pl, iv, scratch, inner, innerTrip, &touches)
 			} else {
 				err = collectRunTouches(pl, pl.ref.OffsetAt(iv), innerTrip, &touches)
 			}
@@ -156,16 +160,20 @@ func walkNest(ni int, nest *ir.Nest, sub *layout.Subsystem, fn func(Touch) error
 			}
 		}
 		// Program order within the run: by iteration, then statement,
-		// then reference.
-		sort.Slice(touches, func(a, b int) bool {
-			ta, tb := &touches[a], &touches[b]
-			if ta.k != tb.k {
-				return ta.k < tb.k
+		// then reference. Keys are unique per touch, so the (unstable)
+		// sort is deterministic; SortFunc avoids sort.Slice's
+		// per-call closure and reflection-based swapper.
+		slices.SortFunc(touches, func(a, b pendingTouch) int {
+			if a.k != b.k {
+				if a.k < b.k {
+					return -1
+				}
+				return 1
 			}
-			if ta.stmtIdx != tb.stmtIdx {
-				return ta.stmtIdx < tb.stmtIdx
+			if a.stmtIdx != b.stmtIdx {
+				return a.stmtIdx - b.stmtIdx
 			}
-			return ta.refIdx < tb.refIdx
+			return a.refIdx - b.refIdx
 		})
 		for _, tc := range touches {
 			unitStart := tc.unit * tc.plan.unitBytes
@@ -248,8 +256,11 @@ func withinTileStride(a *ir.Array, dim int) int64 {
 // offset sequence is only piecewise linear: it jumps at every tile
 // boundary of the driven dimension, so the walk proceeds segment by
 // segment, with linear unit-boundary jumping inside each segment.
-func collectRunTouchesBlocked(pl *refPlan, ivRun []int64, inner ir.Loop, innerTrip int64, out *[]pendingTouch) error {
-	iv := append([]int64(nil), ivRun...)
+// scratch must have len(ivRun) elements; it is overwritten (the
+// caller's ivRun stays untouched for the nest's remaining references).
+func collectRunTouchesBlocked(pl *refPlan, ivRun, scratch []int64, inner ir.Loop, innerTrip int64, out *[]pendingTouch) error {
+	iv := scratch
+	copy(iv, ivRun)
 	innerDepth := len(iv) - 1
 	lastUnit := int64(-1)
 	emit := func(k, off int64) {

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"sdpm/internal/cycles"
+	"sdpm/internal/workloads"
+)
+
+func TestCachePrepareSharesInstances(t *testing.T) {
+	b, err := workloads.ByName("galgel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache()
+	cfg := DefaultConfig()
+	cfg.Model = b.Model()
+
+	in1, err := c.Prepare(b.Name, b.Program, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A value-equal but distinct model must still hit.
+	cfg2 := cfg
+	cfg2.Model = b.Model()
+	in2, err := c.Prepare(b.Name, b.Program, cfg2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in1 != in2 {
+		t.Error("value-equal configs produced distinct instances")
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", c.Len())
+	}
+
+	// Any simulation-relevant change must miss.
+	cfg3 := cfg
+	m := b.Model()
+	m.BiasPct += 5
+	cfg3.Model = m
+	in3, err := c.Prepare(b.Name, b.Program, cfg3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in3 == in1 {
+		t.Error("changed bias hit the cache")
+	}
+	cfg4 := cfg
+	cfg4.UnitBytes *= 2
+	if in4, err := c.Prepare(b.Name, b.Program, cfg4, nil); err != nil {
+		t.Fatal(err)
+	} else if in4 == in1 {
+		t.Error("changed stripe unit hit the cache")
+	}
+}
+
+func TestCachePrepareConcurrentSingleflight(t *testing.T) {
+	b, err := workloads.ByName("mesa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache()
+	cfg := DefaultConfig()
+	cfg.Model = b.Model()
+
+	const n = 16
+	got := make([]*Instance, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			in, err := c.Prepare(b.Name, b.Program, cfg, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = in
+			// Exercise the shared lazy artifacts concurrently too.
+			_ = in.BaseTrace()
+			if _, err := in.Run(AllSchemes()[i%len(AllSchemes())]); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("goroutine %d got a distinct instance", i)
+		}
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", c.Len())
+	}
+}
+
+func TestCachePrepareVersionMatchesDirect(t *testing.T) {
+	for _, name := range []string{"swim", "wupwise"} {
+		b, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Model = b.Model()
+		c := NewCache()
+		for _, v := range AllVersions() {
+			cin, capplied, err := c.PrepareVersion(b.Name, b.Program, v, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			din, dapplied, err := PrepareVersion(b.Name, b.Program, v, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if capplied != dapplied {
+				t.Errorf("%s/%s: applied %v vs %v", name, v, capplied, dapplied)
+			}
+			cres, err := cin.Run(CMDRPM)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dres, err := din.Run(CMDRPM)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cres.EnergyJ != dres.EnergyJ || cres.ExecMS != dres.ExecMS {
+				t.Errorf("%s/%s: cached run differs: %g/%g vs %g/%g",
+					name, v, cres.EnergyJ, cres.ExecMS, dres.EnergyJ, dres.ExecMS)
+			}
+			// Second lookup shares.
+			cin2, _, err := c.PrepareVersion(b.Name, b.Program, v, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cin2 != cin {
+				t.Errorf("%s/%s: repeat lookup missed", name, v)
+			}
+		}
+	}
+}
+
+func TestConfigFingerprintCoversModel(t *testing.T) {
+	a := DefaultConfig()
+	b := DefaultConfig()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical configs fingerprint differently")
+	}
+	b.Model = cycles.New(cycles.DefaultClockHz, 7, 3)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("noise model change not fingerprinted")
+	}
+	c := DefaultConfig()
+	c.Model = cycles.New(cycles.DefaultClockHz, 0, 0)
+	if a.Fingerprint() != c.Fingerprint() {
+		t.Error("explicit default model fingerprints differently from nil")
+	}
+	d := DefaultConfig()
+	d.DisablePreactivation = true
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Error("preactivation flag not fingerprinted")
+	}
+}

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"sdpm/internal/cycles"
 	"sdpm/internal/dap"
@@ -110,6 +111,19 @@ func (c *Config) model() *cycles.Model {
 	return cycles.New(cycles.DefaultClockHz, 0, 0)
 }
 
+// Fingerprint returns a canonical string covering every field that
+// influences Prepare and simulation, resolving the cycle model to its
+// values (two configs with distinct but value-equal *cycles.Model
+// fingerprint identically). It is the configuration half of the
+// memoization key used by Cache.
+func (c *Config) Fingerprint() string {
+	m := c.model()
+	return fmt.Sprintf("disk{%+v} nd=%d unit=%d cache=%d model{%g,%g,%g,%d} tm=%g nopre=%t nocache=%t distseek=%t",
+		c.Disk, c.NumDisks, c.UnitBytes, c.CacheUnits,
+		m.ClockHz, m.NoisePct, m.BiasPct, m.Seed,
+		c.PowerCallOverheadMS, c.DisablePreactivation, c.NoCache, c.DistanceAwareSeek)
+}
+
 // Validate checks the configuration.
 func (c *Config) Validate() error {
 	if err := c.Disk.Validate(); err != nil {
@@ -126,6 +140,12 @@ func (c *Config) Validate() error {
 
 // Instance is a program prepared on a disk subsystem: placed,
 // analyzed, and ready to run under any scheme.
+//
+// An Instance is safe for concurrent use: the derived artifacts
+// (base trace, instrumented traces) are built once under a lock, and
+// Run is re-entrant — all per-run mutable state (the disk state
+// machine, the policy) is freshly allocated inside sim.Run, so any
+// number of schemes can be simulated on one Instance at once.
 type Instance struct {
 	Name    string
 	Program *ir.Program
@@ -133,6 +153,7 @@ type Instance struct {
 	Sites   []tracegen.Site
 	Cfg     Config
 
+	mu        sync.Mutex // guards the lazy caches below
 	baseTrace *trace.Trace
 	instr     map[insert.Mode]*instrumented
 }
@@ -179,7 +200,11 @@ func Prepare(name string, p *ir.Program, cfg Config, overrides map[string]layout
 }
 
 // BaseTrace returns (and caches) the uninstrumented runtime trace.
+// The returned trace is shared and must be treated as read-only
+// (sim.Run never mutates its input).
 func (in *Instance) BaseTrace() *trace.Trace {
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	if in.baseTrace == nil {
 		p := in.Cfg.Disk
 		in.baseTrace = tracegen.FromSites(in.Name, in.Cfg.NumDisks, in.Sites, tracegen.Options{
@@ -191,8 +216,11 @@ func (in *Instance) BaseTrace() *trace.Trace {
 }
 
 // Instrumented returns (and caches) the compiler-instrumented trace
-// and plan for the given mode.
+// and plan for the given mode. Like BaseTrace, the results are
+// shared and read-only.
 func (in *Instance) Instrumented(mode insert.Mode) (*trace.Trace, *insert.Plan, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	if got, ok := in.instr[mode]; ok {
 		return got.tr, got.plan, nil
 	}

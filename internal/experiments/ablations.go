@@ -10,6 +10,18 @@ import (
 	"sdpm/internal/xform"
 )
 
+// selected returns the suite benchmarks passing the filter, keeping
+// Table 2 order (the canonical row order of every ablation table).
+func (s *Suite) selected(keep func(*workloads.Benchmark) bool) []*workloads.Benchmark {
+	var out []*workloads.Benchmark
+	for _, b := range s.Benchmarks {
+		if keep(b) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
 // AblationPreactivation quantifies the value of the pre-activation
 // calls (Equation 1): CMDRPM energy and time with and without them,
 // normalized to base. Without pre-activation, every access after a
@@ -19,32 +31,41 @@ func (s *Suite) AblationPreactivation() (*stats.Table, error) {
 		Title:   "Ablation: pre-activation (normalized energy | time)",
 		Columns: []string{"CMDRPM-E", "CMDRPM-T", "noPre-E", "noPre-T"},
 	}
-	for _, b := range s.Benchmarks {
+	rows := make([][4]float64, len(s.Benchmarks))
+	err := s.pool().Map(len(s.Benchmarks), func(i int) error {
+		b := s.Benchmarks[i]
 		cfg := s.configFor(b)
-		in, err := core.Prepare(b.Name, b.Program, cfg, nil)
+		in, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		base, err := in.Run(core.Base)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		on, err := in.Run(core.CMDRPM)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfg.DisablePreactivation = true
-		inOff, err := core.Prepare(b.Name, b.Program, cfg, nil)
+		inOff, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		off, err := inOff.Run(core.CMDRPM)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.Add(b.Name,
-			on.EnergyJ/base.EnergyJ, on.ExecMS/base.ExecMS,
-			off.EnergyJ/base.EnergyJ, off.ExecMS/base.ExecMS)
+		rows[i] = [4]float64{
+			on.EnergyJ / base.EnergyJ, on.ExecMS / base.ExecMS,
+			off.EnergyJ / base.EnergyJ, off.ExecMS / base.ExecMS}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range s.Benchmarks {
+		t.Add(b.Name, rows[i][0], rows[i][1], rows[i][2], rows[i][3])
 	}
 	return t.WithMeanRow(), nil
 }
@@ -65,28 +86,36 @@ func (s *Suite) AblationNoise(benchName string, biasLevels []float64) (*stats.Ta
 		Columns:   []string{"mispredict%", "CMDRPM-E", "CMDRPM-T"},
 		Precision: 3,
 	}
-	for _, bias := range biasLevels {
+	rows := make([][3]float64, len(biasLevels))
+	err = s.pool().Map(len(biasLevels), func(i int) error {
 		cfg := s.configFor(b)
 		m := b.Model()
-		m.BiasPct = bias
+		m.BiasPct = biasLevels[i]
 		cfg.Model = m
-		in, err := core.Prepare(b.Name, b.Program, cfg, nil)
+		in, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		base, err := in.Run(core.Base)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cm, err := in.Run(core.CMDRPM)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		st, err := in.Mispredictions()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.Add(fmt.Sprintf("bias %g%%", bias), st.Pct, cm.EnergyJ/base.EnergyJ, cm.ExecMS/base.ExecMS)
+		rows[i] = [3]float64{st.Pct, cm.EnergyJ / base.EnergyJ, cm.ExecMS / base.ExecMS}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, bias := range biasLevels {
+		t.Add(fmt.Sprintf("bias %g%%", bias), rows[i][0], rows[i][1], rows[i][2])
 	}
 	return t, nil
 }
@@ -100,32 +129,40 @@ func (s *Suite) AblationCache() (*stats.Table, error) {
 		Columns:   []string{"reqs", "reqs-nocache", "E", "E-nocache"},
 		Precision: 0,
 	}
-	for _, b := range s.Benchmarks {
-		if b.Name == "wupwise" || b.Name == "mgrid" {
-			// The cacheless traces of the two largest workloads are
-			// enormous; the remaining benchmarks demonstrate the
-			// effect.
-			continue
-		}
+	// The cacheless traces of the two largest workloads are enormous;
+	// the remaining benchmarks demonstrate the effect.
+	benches := s.selected(func(b *workloads.Benchmark) bool {
+		return b.Name != "wupwise" && b.Name != "mgrid"
+	})
+	rows := make([][4]float64, len(benches))
+	err := s.pool().Map(len(benches), func(i int) error {
+		b := benches[i]
 		cfg := s.configFor(b)
-		in, err := core.Prepare(b.Name, b.Program, cfg, nil)
+		in, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := in.Run(core.Base)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfg.NoCache = true
-		inNC, err := core.Prepare(b.Name, b.Program, cfg, nil)
+		inNC, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		resNC, err := inNC.Run(core.Base)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.Add(b.Name, float64(len(in.Sites)), float64(len(inNC.Sites)), res.EnergyJ, resNC.EnergyJ)
+		rows[i] = [4]float64{float64(len(in.Sites)), float64(len(inNC.Sites)), res.EnergyJ, resNC.EnergyJ}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		t.Add(b.Name, rows[i][0], rows[i][1], rows[i][2], rows[i][3])
 	}
 	return t, nil
 }
@@ -138,34 +175,44 @@ func (s *Suite) AblationClustering() (*stats.Table, error) {
 		Title:   "Ablation: LF+DL nest clustering (normalized CMDRPM energy)",
 		Columns: []string{"LF+DL", "LF+DL-nocluster"},
 	}
-	for _, b := range s.Benchmarks {
-		if !b.Fissionable {
-			continue
-		}
+	benches := s.selected(func(b *workloads.Benchmark) bool { return b.Fissionable })
+	rows := make([][2]float64, len(benches))
+	err := s.pool().Map(len(benches), func(i int) error {
+		b := benches[i]
 		cfg := s.configFor(b)
-		orig, err := core.Prepare(b.Name, b.Program, cfg, nil)
+		orig, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		base, err := orig.Run(core.Base)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		with, err := s.lfdlEnergy(b, cfg, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		without, err := s.lfdlEnergy(b, cfg, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.Add(b.Name, with/base.EnergyJ, without/base.EnergyJ)
+		rows[i] = [2]float64{with / base.EnergyJ, without / base.EnergyJ}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		t.Add(b.Name, rows[i][0], rows[i][1])
 	}
 	return t.WithMeanRow(), nil
 }
 
 // lfdlEnergy runs CMDRPM on the LF+DL version of a benchmark,
-// optionally skipping the clustering step.
+// optionally skipping the clustering step. The transformed program is
+// built fresh on every call, so preparation goes straight to
+// core.Prepare rather than through the memo (a fresh program pointer
+// can never hit).
 func (s *Suite) lfdlEnergy(b *workloads.Benchmark, cfg core.Config, cluster bool) (float64, error) {
 	fp := xform.Fission(b.Program)
 	if cluster {
@@ -196,39 +243,47 @@ func (s *Suite) AblationOpenLoop() (*stats.Table, error) {
 		Title:   "Ablation: closed vs open loop (normalized energy | time)",
 		Columns: []string{"DRPM-E", "DRPM-T", "openDRPM-E", "openDRPM-T", "openIDRPM-E"},
 	}
-	for _, b := range s.Benchmarks {
-		if b.Name == "wupwise" || b.Name == "mgrid" {
-			continue // keep the ablation quick; the others suffice
-		}
-		cfg := s.configFor(b)
-		in, err := core.Prepare(b.Name, b.Program, cfg, nil)
+	benches := s.selected(func(b *workloads.Benchmark) bool {
+		return b.Name != "wupwise" && b.Name != "mgrid" // keep the ablation quick; the others suffice
+	})
+	rows := make([][5]float64, len(benches))
+	err := s.pool().Map(len(benches), func(i int) error {
+		b := benches[i]
+		in, err := s.instance(b)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		base, err := in.Run(core.Base)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		openBase, err := in.RunOpen(core.Base)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dr, err := in.Run(core.DRPM)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		openDr, err := in.RunOpen(core.DRPM)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		openId, err := in.RunOpen(core.IDRPM)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.Add(b.Name,
-			dr.EnergyJ/base.EnergyJ, dr.ExecMS/base.ExecMS,
-			openDr.EnergyJ/openBase.EnergyJ, openDr.ExecMS/openBase.ExecMS,
-			openId.EnergyJ/openBase.EnergyJ)
+		rows[i] = [5]float64{
+			dr.EnergyJ / base.EnergyJ, dr.ExecMS / base.ExecMS,
+			openDr.EnergyJ / openBase.EnergyJ, openDr.ExecMS / openBase.ExecMS,
+			openId.EnergyJ / openBase.EnergyJ}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		t.Add(b.Name, rows[i][0], rows[i][1], rows[i][2], rows[i][3], rows[i][4])
 	}
 	return t.WithMeanRow(), nil
 }
@@ -242,29 +297,36 @@ func (s *Suite) AblationSeekModel() (*stats.Table, error) {
 		Title:   "Ablation: average vs distance-dependent seek (base runs)",
 		Columns: []string{"E-avg", "E-dist", "T-avg", "T-dist"},
 	}
-	for _, b := range s.Benchmarks {
-		if b.Name == "wupwise" {
-			continue
-		}
+	benches := s.selected(func(b *workloads.Benchmark) bool { return b.Name != "wupwise" })
+	rows := make([][4]float64, len(benches))
+	err := s.pool().Map(len(benches), func(i int) error {
+		b := benches[i]
 		cfg := s.configFor(b)
-		in, err := core.Prepare(b.Name, b.Program, cfg, nil)
+		in, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		avg, err := in.Run(core.Base)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfg.DistanceAwareSeek = true
-		inD, err := core.Prepare(b.Name, b.Program, cfg, nil)
+		inD, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dist, err := inD.Run(core.Base)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.Add(b.Name, avg.EnergyJ, dist.EnergyJ, avg.ExecMS, dist.ExecMS)
+		rows[i] = [4]float64{avg.EnergyJ, dist.EnergyJ, avg.ExecMS, dist.ExecMS}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		t.Add(b.Name, rows[i][0], rows[i][1], rows[i][2], rows[i][3])
 	}
 	return t, nil
 }
@@ -284,19 +346,19 @@ func (s *Suite) EnergyBreakdown() (*stats.Table, error) {
 		},
 		Precision: 1,
 	}
-	for _, b := range s.Benchmarks {
-		cfg := s.configFor(b)
-		in, err := core.Prepare(b.Name, b.Program, cfg, nil)
+	rows := make([][6]float64, len(s.Benchmarks))
+	err := s.pool().Map(len(s.Benchmarks), func(i int) error {
+		in, err := s.instance(s.Benchmarks[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		base, err := in.Run(core.Base)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cm, err := in.Run(core.CMDRPM)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sum := func(r *sim.Result) (a, i, tr, sb float64) {
 			for _, st := range r.Disks {
@@ -309,7 +371,14 @@ func (s *Suite) EnergyBreakdown() (*stats.Table, error) {
 		}
 		ba, bi, _, _ := sum(base)
 		ca, ci, ct, cs := sum(cm)
-		t.Add(b.Name, ba, bi, ca, ci, ct, cs)
+		rows[i] = [6]float64{ba, bi, ca, ci, ct, cs}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range s.Benchmarks {
+		t.Add(b.Name, rows[i][0], rows[i][1], rows[i][2], rows[i][3], rows[i][4], rows[i][5])
 	}
 	return t, nil
 }

@@ -28,41 +28,70 @@ func (s *Suite) sensitivityBench() (*workloads.Benchmark, error) {
 	return nil, fmt.Errorf("experiments: sensitivity analysis needs the swim benchmark")
 }
 
-// stripeSweep runs swim at each stripe size and returns raw energy
-// and execution-time tables (rows: sizes; cols: Base + schemes).
-func (s *Suite) stripeSweep(sizes []int64) (*stats.Table, *stats.Table, error) {
+// sweep runs swim under one configuration variant per point — one
+// worker cell per (point, scheme) pair, every scheme at a point
+// sharing the point's prepared instance through the memo — and
+// returns raw energy and execution-time tables (rows: points; cols:
+// Base + sensitivitySchemes).
+func (s *Suite) sweep(labels []string, vary func(cfg *core.Config, point int), wrap func(point int, sc core.Scheme, err error) error) (*stats.Table, *stats.Table, error) {
 	b, err := s.sensitivityBench()
 	if err != nil {
 		return nil, nil, err
 	}
-	cols := []string{string(core.Base)}
-	for _, sc := range sensitivitySchemes {
+	schemes := append([]core.Scheme{core.Base}, sensitivitySchemes...)
+	cols := make([]string, 0, len(schemes))
+	for _, sc := range schemes {
 		cols = append(cols, string(sc))
 	}
 	energy := &stats.Table{Columns: cols, Precision: 1}
 	times := &stats.Table{Columns: cols, Precision: 1}
-	for _, size := range sizes {
+	type cell struct{ energy, exec float64 }
+	ns := len(schemes)
+	cells := make([]cell, len(labels)*ns)
+	err = s.pool().Map(len(cells), func(i int) error {
+		point, sc := i/ns, schemes[i%ns]
 		cfg := s.configFor(b)
-		cfg.UnitBytes = size
-		in, err := core.Prepare(b.Name, b.Program, cfg, nil)
+		vary(&cfg, point)
+		in, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		evals := make([]float64, 0, len(cols))
-		tvals := make([]float64, 0, len(cols))
-		for _, sc := range append([]core.Scheme{core.Base}, sensitivitySchemes...) {
-			res, err := in.Run(sc)
-			if err != nil {
-				return nil, nil, fmt.Errorf("stripe %dKB/%s: %w", size/1024, sc, err)
-			}
-			evals = append(evals, res.EnergyJ)
-			tvals = append(tvals, res.ExecMS)
+		res, err := in.Run(sc)
+		if err != nil {
+			return wrap(point, sc, err)
 		}
-		label := fmt.Sprintf("%dKB", size/1024)
+		cells[i] = cell{res.EnergyJ, res.ExecMS}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for p, label := range labels {
+		evals := make([]float64, 0, ns)
+		tvals := make([]float64, 0, ns)
+		for si := 0; si < ns; si++ {
+			c := cells[p*ns+si]
+			evals = append(evals, c.energy)
+			tvals = append(tvals, c.exec)
+		}
 		energy.Add(label, evals...)
 		times.Add(label, tvals...)
 	}
 	return energy, times, nil
+}
+
+// stripeSweep runs swim at each stripe size and returns raw energy
+// and execution-time tables (rows: sizes; cols: Base + schemes).
+func (s *Suite) stripeSweep(sizes []int64) (*stats.Table, *stats.Table, error) {
+	labels := make([]string, len(sizes))
+	for i, size := range sizes {
+		labels[i] = fmt.Sprintf("%dKB", size/1024)
+	}
+	return s.sweep(labels,
+		func(cfg *core.Config, p int) { cfg.UnitBytes = sizes[p] },
+		func(p int, sc core.Scheme, err error) error {
+			return fmt.Errorf("stripe %dKB/%s: %w", sizes[p]/1024, sc, err)
+		})
 }
 
 // Figures56 computes Figures 5 and 6: swim's normalized energy and
@@ -93,38 +122,15 @@ func (s *Suite) Figures56(sizes []int64) (*stats.Table, *stats.Table, error) {
 
 // factorSweep runs swim at each stripe factor (= subsystem size).
 func (s *Suite) factorSweep(factors []int) (*stats.Table, *stats.Table, error) {
-	b, err := s.sensitivityBench()
-	if err != nil {
-		return nil, nil, err
+	labels := make([]string, len(factors))
+	for i, f := range factors {
+		labels[i] = fmt.Sprintf("%d disks", f)
 	}
-	cols := []string{string(core.Base)}
-	for _, sc := range sensitivitySchemes {
-		cols = append(cols, string(sc))
-	}
-	energy := &stats.Table{Columns: cols, Precision: 1}
-	times := &stats.Table{Columns: cols, Precision: 1}
-	for _, f := range factors {
-		cfg := s.configFor(b)
-		cfg.NumDisks = f
-		in, err := core.Prepare(b.Name, b.Program, cfg, nil)
-		if err != nil {
-			return nil, nil, err
-		}
-		evals := make([]float64, 0, len(cols))
-		tvals := make([]float64, 0, len(cols))
-		for _, sc := range append([]core.Scheme{core.Base}, sensitivitySchemes...) {
-			res, err := in.Run(sc)
-			if err != nil {
-				return nil, nil, fmt.Errorf("factor %d/%s: %w", f, sc, err)
-			}
-			evals = append(evals, res.EnergyJ)
-			tvals = append(tvals, res.ExecMS)
-		}
-		label := fmt.Sprintf("%d disks", f)
-		energy.Add(label, evals...)
-		times.Add(label, tvals...)
-	}
-	return energy, times, nil
+	return s.sweep(labels,
+		func(cfg *core.Config, p int) { cfg.NumDisks = factors[p] },
+		func(p int, sc core.Scheme, err error) error {
+			return fmt.Errorf("factor %d/%s: %w", factors[p], sc, err)
+		})
 }
 
 // Figures78 computes Figures 7 and 8: swim's normalized energy and

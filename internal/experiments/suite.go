@@ -5,44 +5,85 @@
 // mispredictions), Figures 5-8 (stripe size and stripe factor
 // sensitivity on swim), and Figure 13 (the code-transformation
 // versions), plus the ablation studies DESIGN.md calls out.
+//
+// Every experiment is an embarrassingly parallel grid of independent
+// (benchmark, configuration, scheme) cells. The suite fans those
+// cells out on a bounded worker pool (internal/runner) and reassembles
+// results in canonical order, so rendered output is byte-identical
+// for any worker count; a shared instance memo (core.Cache) ensures
+// the compile→analysis→trace pipeline runs once per (workload,
+// configuration) no matter how many schemes or experiments ask for
+// it. See docs/performance.md.
 package experiments
 
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"sdpm/internal/core"
+	"sdpm/internal/runner"
 	"sdpm/internal/stats"
 	"sdpm/internal/workloads"
 )
 
+// CacheUnitsAuto is the suite's "unset" sentinel for
+// Config.CacheUnits: each benchmark then uses its own calibrated
+// buffer-cache capacity. Any positive value applies uniformly to all
+// benchmarks (even when it equals the core default).
+const CacheUnitsAuto = 0
+
 // Suite runs the paper's experiments over the Table 2 benchmarks.
 type Suite struct {
-	// Cfg is the base configuration (Table 1 defaults).
+	// Cfg is the base configuration (Table 1 defaults). A CacheUnits
+	// of CacheUnitsAuto selects each benchmark's own capacity.
 	Cfg core.Config
 	// Benchmarks are the workloads (Table 2 order).
 	Benchmarks []*workloads.Benchmark
+	// Workers bounds each experiment's parallelism: 1 is strictly
+	// sequential, 0 selects GOMAXPROCS. Results are byte-identical
+	// for every value.
+	Workers int
+
+	cacheOnce sync.Once
+	cache     *core.Cache
 }
 
 // NewSuite returns a suite with the paper's default configuration and
 // all six benchmarks.
 func NewSuite() *Suite {
-	return &Suite{Cfg: core.DefaultConfig(), Benchmarks: workloads.All()}
+	cfg := core.DefaultConfig()
+	cfg.CacheUnits = CacheUnitsAuto
+	return &Suite{Cfg: cfg, Benchmarks: workloads.All()}
+}
+
+// memo returns the suite's shared instance cache (created lazily so
+// zero-constructed suites work too).
+func (s *Suite) memo() *core.Cache {
+	s.cacheOnce.Do(func() { s.cache = core.NewCache() })
+	return s.cache
+}
+
+// pool returns a worker pool honoring s.Workers. Experiments run one
+// at a time, so a fresh pool per experiment keeps the global bound.
+func (s *Suite) pool() *runner.Pool {
+	return runner.New(s.Workers)
 }
 
 // configFor specializes the suite configuration for one benchmark.
 func (s *Suite) configFor(b *workloads.Benchmark) core.Config {
 	cfg := s.Cfg
 	cfg.Model = b.Model()
-	if cfg.CacheUnits == core.DefaultConfig().CacheUnits {
+	if cfg.CacheUnits == CacheUnitsAuto {
 		cfg.CacheUnits = b.CacheUnits
 	}
 	return cfg
 }
 
-// instance prepares one benchmark under the suite configuration.
+// instance prepares one benchmark under the suite configuration,
+// sharing the preparation across schemes, experiments, and workers.
 func (s *Suite) instance(b *workloads.Benchmark) (*core.Instance, error) {
-	return core.Prepare(b.Name, b.Program, s.configFor(b), nil)
+	return s.memo().Prepare(b.Name, b.Program, s.configFor(b), nil)
 }
 
 // Table1 renders the simulation parameters (the paper's Table 1).
@@ -86,46 +127,69 @@ func (s *Suite) Table2() (*stats.Table, error) {
 		},
 		Precision: 1,
 	}
-	for _, b := range s.Benchmarks {
-		in, err := s.instance(b)
+	type row struct{ sites, energy, exec float64 }
+	rows := make([]row, len(s.Benchmarks))
+	err := s.pool().Map(len(s.Benchmarks), func(i int) error {
+		in, err := s.instance(s.Benchmarks[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := in.Run(core.Base)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		rows[i] = row{float64(len(in.Sites)), res.EnergyJ, res.ExecMS}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range s.Benchmarks {
 		t.Add(b.Name,
-			float64(b.Program.TotalBytes())/(1<<20), float64(len(in.Sites)),
-			res.EnergyJ, res.ExecMS,
+			float64(b.Program.TotalBytes())/(1<<20), rows[i].sites,
+			rows[i].energy, rows[i].exec,
 			b.Paper.DataMB, float64(b.Paper.Requests), b.Paper.EnergyJ, b.Paper.ExecMS)
 	}
 	return t, nil
 }
 
-// schemeMatrix runs every scheme on every benchmark and returns the
-// raw energy and execution-time tables.
+// schemeMatrix runs every scheme on every benchmark — one worker cell
+// per (benchmark, scheme) pair — and returns the raw energy and
+// execution-time tables.
 func (s *Suite) schemeMatrix() (*stats.Table, *stats.Table, error) {
-	cols := make([]string, 0, len(core.AllSchemes()))
-	for _, sc := range core.AllSchemes() {
+	schemes := core.AllSchemes()
+	cols := make([]string, 0, len(schemes))
+	for _, sc := range schemes {
 		cols = append(cols, string(sc))
 	}
 	energy := &stats.Table{Title: "Energy (J)", Columns: cols, Precision: 1}
 	times := &stats.Table{Title: "Execution time (ms)", Columns: cols, Precision: 1}
-	for _, b := range s.Benchmarks {
+	type cell struct{ energy, exec float64 }
+	ns := len(schemes)
+	cells := make([]cell, len(s.Benchmarks)*ns)
+	err := s.pool().Map(len(cells), func(i int) error {
+		b, sc := s.Benchmarks[i/ns], schemes[i%ns]
 		in, err := s.instance(b)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		evals := make([]float64, 0, len(cols))
-		tvals := make([]float64, 0, len(cols))
-		for _, sc := range core.AllSchemes() {
-			res, err := in.Run(sc)
-			if err != nil {
-				return nil, nil, fmt.Errorf("%s/%s: %w", b.Name, sc, err)
-			}
-			evals = append(evals, res.EnergyJ)
-			tvals = append(tvals, res.ExecMS)
+		res, err := in.Run(sc)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", b.Name, sc, err)
+		}
+		cells[i] = cell{res.EnergyJ, res.ExecMS}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for bi, b := range s.Benchmarks {
+		evals := make([]float64, 0, ns)
+		tvals := make([]float64, 0, ns)
+		for si := range schemes {
+			c := cells[bi*ns+si]
+			evals = append(evals, c.energy)
+			tvals = append(tvals, c.exec)
 		}
 		energy.Add(b.Name, evals...)
 		times.Add(b.Name, tvals...)
@@ -198,16 +262,24 @@ func (s *Suite) Table3() (*stats.Table, error) {
 		"wupwise": 6.78, "swim": 5.14, "mgrid": 13.02,
 		"applu": 18.97, "mesa": 27.35, "galgel": 15.9,
 	}
-	for _, b := range s.Benchmarks {
-		in, err := s.instance(b)
+	pcts := make([]float64, len(s.Benchmarks))
+	err := s.pool().Map(len(s.Benchmarks), func(i int) error {
+		in, err := s.instance(s.Benchmarks[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		st, err := in.Mispredictions()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.Add(b.Name, st.Pct, paper[b.Name])
+		pcts[i] = st.Pct
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range s.Benchmarks {
+		t.Add(b.Name, pcts[i], paper[b.Name])
 	}
 	return t, nil
 }

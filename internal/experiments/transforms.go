@@ -21,9 +21,14 @@ var figure13Schemes = []core.Scheme{core.CMTPM, core.CMDRPM}
 // version that does not apply to a benchmark (no fissionable nest,
 // conforming layouts) reuses the original program, exactly as the
 // paper's compiler would leave the code unchanged.
+//
+// Each (benchmark, version, scheme) run is one worker cell — the base
+// denominator is one more cell per benchmark — and the normalization
+// happens after the fan-out, in canonical order.
 func (s *Suite) Figure13() (*stats.Table, error) {
+	versions := core.AllVersions()
 	var cols []string
-	for _, v := range core.AllVersions() {
+	for _, v := range versions {
 		for _, sc := range figure13Schemes {
 			cols = append(cols, fmt.Sprintf("%s/%s", v, sc))
 		}
@@ -32,29 +37,46 @@ func (s *Suite) Figure13() (*stats.Table, error) {
 		Title:   "Figure 13: Normalized energy consumption with code transformations",
 		Columns: cols,
 	}
-	for _, b := range s.Benchmarks {
+	// Per benchmark: cell 0 is the base denominator, then one cell per
+	// version/scheme pair.
+	perB := 1 + len(versions)*len(figure13Schemes)
+	energies := make([]float64, len(s.Benchmarks)*perB)
+	err := s.pool().Map(len(energies), func(i int) error {
+		b, j := s.Benchmarks[i/perB], i%perB
 		cfg := s.configFor(b)
-		orig, err := core.Prepare(b.Name, b.Program, cfg, nil)
-		if err != nil {
-			return nil, err
-		}
-		baseRes, err := orig.Run(core.Base)
-		if err != nil {
-			return nil, err
-		}
-		var vals []float64
-		for _, v := range core.AllVersions() {
-			in, _, err := core.PrepareVersion(b.Name, b.Program, v, cfg)
+		if j == 0 {
+			orig, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
 			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", b.Name, v, err)
+				return err
 			}
-			for _, sc := range figure13Schemes {
-				res, err := in.Run(sc)
-				if err != nil {
-					return nil, fmt.Errorf("%s/%s/%s: %w", b.Name, v, sc, err)
-				}
-				vals = append(vals, res.EnergyJ/baseRes.EnergyJ)
+			baseRes, err := orig.Run(core.Base)
+			if err != nil {
+				return err
 			}
+			energies[i] = baseRes.EnergyJ
+			return nil
+		}
+		v := versions[(j-1)/len(figure13Schemes)]
+		sc := figure13Schemes[(j-1)%len(figure13Schemes)]
+		in, _, err := s.memo().PrepareVersion(b.Name, b.Program, v, cfg)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", b.Name, v, err)
+		}
+		res, err := in.Run(sc)
+		if err != nil {
+			return fmt.Errorf("%s/%s/%s: %w", b.Name, v, sc, err)
+		}
+		energies[i] = res.EnergyJ
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi, b := range s.Benchmarks {
+		base := energies[bi*perB]
+		vals := make([]float64, 0, perB-1)
+		for j := 1; j < perB; j++ {
+			vals = append(vals, energies[bi*perB+j]/base)
 		}
 		t.Add(b.Name, vals...)
 	}
@@ -72,34 +94,42 @@ func (s *Suite) ExtensionInterchange() (*stats.Table, error) {
 		Title:   "Extension: loop interchange vs TL+DL (normalized CMDRPM energy)",
 		Columns: []string{"orig", "IC", "TL+DL", "IC-requests", "orig-requests"},
 	}
-	for _, b := range s.Benchmarks {
+	rows := make([][]float64, len(s.Benchmarks))
+	err := s.pool().Map(len(s.Benchmarks), func(i int) error {
+		b := s.Benchmarks[i]
 		cfg := s.configFor(b)
-		orig, err := core.Prepare(b.Name, b.Program, cfg, nil)
+		orig, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		baseRes, err := orig.Run(core.Base)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var vals []float64
 		var icReqs float64
 		for _, v := range []core.Version{core.VOrig, core.VIC, core.VTLDL} {
-			in, _, err := core.PrepareVersion(b.Name, b.Program, v, cfg)
+			in, _, err := s.memo().PrepareVersion(b.Name, b.Program, v, cfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			res, err := in.Run(core.CMDRPM)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			vals = append(vals, res.EnergyJ/baseRes.EnergyJ)
 			if v == core.VIC {
 				icReqs = float64(len(in.Sites))
 			}
 		}
-		vals = append(vals, icReqs, float64(len(orig.Sites)))
-		t.Add(b.Name, vals...)
+		rows[i] = append(vals, icReqs, float64(len(orig.Sites)))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range s.Benchmarks {
+		t.Add(b.Name, rows[i]...)
 	}
 	return t, nil
 }
@@ -121,10 +151,15 @@ func (s *Suite) ExtensionMultiprogram() (*stats.Table, error) {
 		{"swim", "galgel"},
 		{"swim", "galgel", "mesa"},
 	}
-	for _, combo := range combos {
+	type row struct {
+		name string
+		ok   bool
+		vals [3]float64
+	}
+	rows := make([]row, len(combos))
+	err := s.pool().Map(len(combos), func(ci int) error {
 		var traces []*trace.Trace
-		ok := true
-		for _, name := range combo {
+		for _, name := range combos[ci] {
 			var b *workloads.Benchmark
 			for _, x := range s.Benchmarks {
 				if x.Name == name {
@@ -132,37 +167,42 @@ func (s *Suite) ExtensionMultiprogram() (*stats.Table, error) {
 				}
 			}
 			if b == nil {
-				ok = false
-				break
+				return nil // combo needs a benchmark the suite lacks; skip the row
 			}
-			in, err := core.Prepare(b.Name, b.Program, s.configFor(b), nil)
+			in, err := s.instance(b)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			traces = append(traces, in.BaseTrace())
 		}
-		if !ok {
-			continue
-		}
 		merged, err := trace.MergeOpen(s.Cfg.NumDisks, traces...)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p := s.Cfg.Disk
 		base, err := sim.RunOpenLoop(merged, sim.Config{Disk: p, Policy: policy.NewBase()})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dr, err := sim.RunOpenLoop(merged, sim.Config{Disk: p, Policy: policy.NewDRPM(p, s.Cfg.NumDisks)})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		id, err := sim.RunOpenLoop(merged, sim.Config{Disk: p, Policy: policy.NewIDRPM(p)})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.Add(merged.Program,
-			dr.EnergyJ/base.EnergyJ, id.EnergyJ/base.EnergyJ, dr.ExecMS/base.ExecMS)
+		rows[ci] = row{merged.Program, true, [3]float64{
+			dr.EnergyJ / base.EnergyJ, id.EnergyJ / base.EnergyJ, dr.ExecMS / base.ExecMS}}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		if r.ok {
+			t.Add(r.name, r.vals[0], r.vals[1], r.vals[2])
+		}
 	}
 	return t, nil
 }
@@ -172,8 +212,9 @@ func (s *Suite) ExtensionMultiprogram() (*stats.Table, error) {
 // documenting the paper's structural claims (wupwise/galgel not
 // fissionable; galgel conforming, etc.).
 func (s *Suite) VersionApplicability() (*stats.Table, error) {
+	versions := core.AllVersions()[1:]
 	var cols []string
-	for _, v := range core.AllVersions()[1:] {
+	for _, v := range versions {
 		cols = append(cols, string(v))
 	}
 	t := &stats.Table{
@@ -181,21 +222,24 @@ func (s *Suite) VersionApplicability() (*stats.Table, error) {
 		Columns:   cols,
 		Precision: 0,
 	}
-	for _, b := range s.Benchmarks {
-		cfg := s.configFor(b)
-		var vals []float64
-		for _, v := range core.AllVersions()[1:] {
-			_, applied, err := core.PrepareVersion(b.Name, b.Program, v, cfg)
-			if err != nil {
-				return nil, err
-			}
-			if applied {
-				vals = append(vals, 1)
-			} else {
-				vals = append(vals, 0)
-			}
+	nv := len(versions)
+	cells := make([]float64, len(s.Benchmarks)*nv)
+	err := s.pool().Map(len(cells), func(i int) error {
+		b, v := s.Benchmarks[i/nv], versions[i%nv]
+		_, applied, err := s.memo().PrepareVersion(b.Name, b.Program, v, s.configFor(b))
+		if err != nil {
+			return err
 		}
-		t.Add(b.Name, vals...)
+		if applied {
+			cells[i] = 1
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi, b := range s.Benchmarks {
+		t.Add(b.Name, cells[bi*nv:(bi+1)*nv]...)
 	}
 	return t, nil
 }

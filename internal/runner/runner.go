@@ -1,0 +1,110 @@
+// Package runner provides the bounded, deterministic worker pool the
+// experiment drivers fan out on. Every table and figure of the
+// paper's evaluation is an embarrassingly parallel grid of
+// independent (benchmark, configuration, scheme) cells; the pool runs
+// those cells concurrently while the callers reassemble results in
+// canonical index order, so rendered output is byte-identical to a
+// sequential run regardless of the worker count.
+//
+// Determinism contract:
+//
+//   - Map indexes identify cells; workers claim indexes from an
+//     atomic counter, so scheduling order is arbitrary, but each
+//     cell's result lands in its own slot and the caller reads the
+//     slots in index order.
+//   - Cell functions must not share mutable state except through
+//     their own slot (or through concurrency-safe structures such as
+//     core.Cache).
+//   - On failure, Map always reports the error of the lowest failing
+//     index — the same error a sequential loop would surface.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded worker pool. The zero value is not useful; use
+// New. A nil *Pool runs everything sequentially on the caller.
+type Pool struct {
+	workers int
+	// helpers holds tokens for the pool's helper goroutines
+	// (workers-1 of them: the calling goroutine always participates,
+	// which keeps nested Map calls deadlock-free — a caller that
+	// cannot obtain helpers still makes progress inline).
+	helpers chan struct{}
+}
+
+// New returns a pool bounded at the given number of workers.
+// workers <= 0 selects GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, helpers: make(chan struct{}, workers-1)}
+}
+
+// Workers returns the pool's worker bound (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Map runs fn(i) for every i in [0, n), using the calling goroutine
+// plus up to Workers()-1 helper goroutines. All cells run even when
+// some fail; the returned error is the one with the lowest index
+// (exactly what a sequential loop over [0, n) would return first).
+func (p *Pool) Map(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if p == nil || p.workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			errs[i] = fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+spawn:
+	for spawned := 0; spawned < n-1 && spawned < p.workers-1; spawned++ {
+		select {
+		case p.helpers <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() {
+					<-p.helpers
+					wg.Done()
+				}()
+				work()
+			}()
+		default:
+			// No helper slots free (other Map calls on this pool hold
+			// them); the caller alone keeps the bound intact.
+			break spawn
+		}
+	}
+	work()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapRunsAllCellsInSlotOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		p := New(workers)
+		n := 100
+		out := make([]int, n)
+		err := p.Map(n, func(i int) error {
+			out[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		err := p.Map(50, func(i int) error {
+			if i%10 == 7 {
+				return fmt.Errorf("cell %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "cell 7" {
+			t.Errorf("workers=%d: err = %v, want cell 7", workers, err)
+		}
+	}
+}
+
+func TestMapEmptyAndNilPool(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Errorf("nil pool workers = %d", p.Workers())
+	}
+	ran := 0
+	if err := p.Map(3, func(i int) error { ran++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 3 {
+		t.Errorf("nil pool ran %d cells", ran)
+	}
+	if err := New(4).Map(0, func(i int) error { return errors.New("boom") }); err != nil {
+		t.Errorf("n=0: %v", err)
+	}
+}
+
+func TestSequentialStopsAtFirstError(t *testing.T) {
+	p := New(1)
+	ran := 0
+	err := p.Map(10, func(i int) error {
+		ran++
+		if i == 3 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil || ran != 4 {
+		t.Errorf("ran=%d err=%v, want 4 cells and an error", ran, err)
+	}
+}
+
+func TestConcurrencyBound(t *testing.T) {
+	const workers = 3
+	p := New(workers)
+	var cur, peak atomic.Int64
+	err := p.Map(64, func(i int) error {
+		c := cur.Add(1)
+		for {
+			pk := peak.Load()
+			if c <= pk || peak.CompareAndSwap(pk, c) {
+				break
+			}
+		}
+		for j := 0; j < 1000; j++ {
+			_ = j * j
+		}
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk := peak.Load(); pk > workers {
+		t.Errorf("observed %d concurrent cells, bound %d", pk, workers)
+	}
+}
+
+func TestNestedMapDoesNotDeadlock(t *testing.T) {
+	p := New(2)
+	var total atomic.Int64
+	err := p.Map(8, func(i int) error {
+		return p.Map(8, func(j int) error {
+			total.Add(1)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 64 {
+		t.Errorf("ran %d inner cells, want 64", total.Load())
+	}
+}

@@ -78,12 +78,20 @@ type DiskStats struct {
 	RPMResidencyMS map[int]float64
 }
 
-// addResidency accumulates spinning time at an RPM level.
-func (st *DiskStats) addResidency(rpm int, ms float64) {
-	if st.RPMResidencyMS == nil {
-		st.RPMResidencyMS = make(map[int]float64)
+// addResidency accumulates spinning time at an RPM level. The hot
+// path uses the dense per-level slice (one backing array for the
+// whole machine, allocated once); the map in DiskStats is only
+// materialized at Finish. The overflow map handles RPMs outside the
+// disk's level grid, which no current caller produces.
+func (s *dstate) addResidency(p *disk.Params, rpm int, ms float64) {
+	if idx := p.LevelIndex(rpm); idx >= 0 {
+		s.resid[idx] += ms
+		return
 	}
-	st.RPMResidencyMS[rpm] += ms
+	if s.residOverflow == nil {
+		s.residOverflow = make(map[int]float64)
+	}
+	s.residOverflow[rpm] += ms
 }
 
 // Segment is one piece of a disk's recorded timeline: a maximal span
@@ -110,6 +118,11 @@ type dstate struct {
 	stats       DiskStats
 	idles       []IdlePeriod
 	timeline    []Segment
+	// resid is the dense per-RPM-level spinning-time accumulator
+	// (index = disk.Params.LevelIndex); residOverflow catches
+	// non-level RPMs.
+	resid         []float64
+	residOverflow map[int]float64
 }
 
 // record appends a timeline segment, merging with the previous one
@@ -145,11 +158,56 @@ type Machine struct {
 // with their timelines starting at time zero.
 func NewMachine(n int, p disk.Params) *Machine {
 	m := &Machine{p: p, disks: make([]dstate, n)}
+	levels := p.NumLevels()
+	residAll := make([]float64, n*levels)
 	for i := range m.disks {
 		m.disks[i].status = StSpinning
 		m.disks[i].rpm = p.MaxRPM
+		m.disks[i].resid = residAll[i*levels : (i+1)*levels : (i+1)*levels]
 	}
 	return m
+}
+
+// ReserveIdles preallocates each disk's idle-period list for the
+// given per-disk request count (one idle period per request plus the
+// trailing one), eliminating append growth on the simulation hot
+// path. A single backing array serves all disks.
+func (m *Machine) ReserveIdles(perDisk []int) {
+	total := 0
+	for d := range m.disks {
+		if d < len(perDisk) {
+			total += perDisk[d] + 1
+		}
+	}
+	buf := make([]IdlePeriod, total)
+	off := 0
+	for d := range m.disks {
+		if d >= len(perDisk) {
+			break
+		}
+		c := perDisk[d] + 1
+		m.disks[d].idles = buf[off:off : off+c]
+		off += c
+	}
+}
+
+// Reset returns the machine to its initial state (all disks spinning
+// at full speed at time zero) while keeping every per-disk allocation
+// — idle lists, residency accumulators, timelines — for reuse, so a
+// simulation loop over many traces of the same shape allocates only
+// on its first iteration.
+func (m *Machine) Reset() {
+	for d := range m.disks {
+		s := &m.disks[d]
+		idles, timeline, resid := s.idles[:0], s.timeline[:0], s.resid
+		*s = dstate{status: StSpinning, rpm: m.p.MaxRPM, idles: idles, timeline: timeline, resid: resid}
+		for i := range resid {
+			resid[i] = 0
+		}
+	}
+	for i := range m.headPos {
+		m.headPos[i] = 0
+	}
 }
 
 // EnableDistanceSeek switches the machine from average-seek to
@@ -208,7 +266,7 @@ func (m *Machine) advance(d int, t float64) {
 			s.stats.EnergyJ += pw * dt / 1e3
 			s.stats.IdleEnergyJ += pw * dt / 1e3
 			s.stats.IdleMS += dt
-			s.stats.addResidency(s.rpm, dt)
+			s.addResidency(&m.p, s.rpm, dt)
 			s.record(m.recTimeline, s.accT, t, StSpinning, s.rpm, pw, false)
 			s.accT = t
 		case StStandby:
@@ -357,7 +415,7 @@ func (m *Machine) ServiceBlock(d int, t float64, bytes, block int64) float64 {
 	s.stats.EnergyJ += pw * svc / 1e3
 	s.stats.ActiveEnergyJ += pw * svc / 1e3
 	s.stats.ActiveMS += svc
-	s.stats.addResidency(s.rpm, svc)
+	s.addResidency(&m.p, s.rpm, svc)
 	s.stats.Requests++
 	end := start + svc
 	s.record(m.recTimeline, start, end, StSpinning, s.rpm, pw, true)
@@ -383,6 +441,28 @@ func (m *Machine) Finish(endT float64) ([]DiskStats, [][]IdlePeriod) {
 			trail = 0
 		}
 		s.idles = append(s.idles, IdlePeriod{StartMS: s.idleFrom, LenMS: trail})
+		// Materialize the per-level residency map from the dense
+		// accumulator (plus any overflow entries).
+		if s.stats.RPMResidencyMS == nil {
+			var touched int
+			for _, ms := range s.resid {
+				if ms != 0 {
+					touched++
+				}
+			}
+			if touched+len(s.residOverflow) > 0 {
+				rm := make(map[int]float64, touched+len(s.residOverflow))
+				for i, ms := range s.resid {
+					if ms != 0 {
+						rm[m.p.MinRPM+i*m.p.RPMStep] = ms
+					}
+				}
+				for rpm, ms := range s.residOverflow {
+					rm[rpm] += ms
+				}
+				s.stats.RPMResidencyMS = rm
+			}
+		}
 		stats[d] = s.stats
 		idles[d] = s.idles
 	}

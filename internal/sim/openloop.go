@@ -28,11 +28,21 @@ func RunOpenLoop(tr *trace.Trace, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	// Collect requests in arrival order (stable for equal arrivals).
+	// The arrival queue and per-disk idle lists are sized exactly up
+	// front; the replay loop itself allocates nothing.
 	type arrival struct {
 		at  float64
 		req *trace.Request
 	}
-	var reqs []arrival
+	n := 0
+	perDisk := make([]int, tr.NumDisks)
+	for i := range tr.Events {
+		if tr.Events[i].Kind == trace.EvRequest {
+			n++
+			perDisk[tr.Events[i].Req.Disk]++
+		}
+	}
+	reqs := make([]arrival, 0, n)
 	for i := range tr.Events {
 		if tr.Events[i].Kind == trace.EvRequest {
 			reqs = append(reqs, arrival{tr.Events[i].Req.ArrivalMS, &tr.Events[i].Req})
@@ -47,6 +57,7 @@ func RunOpenLoop(tr *trace.Trace, cfg Config) (*Result, error) {
 	if cfg.RecordTimeline {
 		m.EnableTimeline()
 	}
+	m.ReserveIdles(perDisk)
 	lastCompletion := make([]float64, tr.NumDisks)
 	end := 0.0
 	queueMS := 0.0

@@ -99,6 +99,16 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	if cfg.RecordTimeline {
 		m.EnableTimeline()
 	}
+	// Size the per-disk idle-period lists exactly (one idle period per
+	// request plus the trailing one) so the event loop never grows
+	// them.
+	perDisk := make([]int, tr.NumDisks)
+	for i := range tr.Events {
+		if tr.Events[i].Kind == trace.EvRequest {
+			perDisk[tr.Events[i].Req.Disk]++
+		}
+	}
+	m.ReserveIdles(perDisk)
 	clock := 0.0
 	powerOps := 0
 	for i := range tr.Events {

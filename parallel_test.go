@@ -1,0 +1,69 @@
+package sdpm
+
+// Determinism tests for the parallel experiment engine: every
+// experiment must render byte-identically no matter how many workers
+// execute its cells (docs/performance.md, "Determinism contract").
+
+import (
+	"bytes"
+	"testing"
+)
+
+// renderExperiment renders one experiment with a fixed worker count.
+func renderExperiment(t *testing.T, id string, workers int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := RunExperiments(id, &buf, Options{Workers: workers}); err != nil {
+		t.Fatalf("%s (workers=%d): %v", id, workers, err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelOutputMatchesSequential renders representative
+// experiments — the scheme matrix (fig3), the transformation grid
+// (fig13), and a config-sweep ablation (ablation-noise) — with one
+// worker and with eight, and requires byte-identical output.
+func TestParallelOutputMatchesSequential(t *testing.T) {
+	ids := []string{"fig3", "ablation-noise"}
+	if !testing.Short() {
+		ids = append(ids, "fig13")
+	}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			seq := renderExperiment(t, id, 1)
+			par := renderExperiment(t, id, 8)
+			if !bytes.Equal(seq, par) {
+				t.Errorf("%s: workers=8 output differs from workers=1\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+					id, seq, par)
+			}
+		})
+	}
+}
+
+// TestRunExperimentsFormatCSVParallel spot-checks that the CSV
+// renderer is deterministic under parallelism too.
+func TestRunExperimentsFormatCSVParallel(t *testing.T) {
+	var seq, par bytes.Buffer
+	if err := RunExperiments("table3", &seq, Options{Format: "csv", Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunExperiments("table3", &par, Options{Format: "csv", Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Errorf("table3 CSV differs:\n%s\nvs\n%s", seq.String(), par.String())
+	}
+}
+
+// TestRunExperimentsUnknown keeps the error paths intact.
+func TestRunExperimentsUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiments("no-such-experiment", &buf, Options{}); err == nil {
+		t.Error("expected error for unknown experiment id")
+	}
+	if err := RunExperiments("fig3", &buf, Options{Format: "yaml"}); err == nil {
+		t.Error("expected error for unknown format")
+	}
+}
