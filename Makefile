@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short vet race bench experiments examples cover clean
+.PHONY: all check build test test-short vet race bench bench-json experiments examples cover clean
 
 all: check
 
@@ -36,6 +36,13 @@ race:
 bench:
 	mkdir -p results
 	$(GO) test -bench=. -benchmem . ./internal/sim | tee results/bench_baseline.txt
+
+# bench-json records the same benchmarks as machine-readable JSON
+# (results/BENCH_sim.json) for dashboards and regression tooling; see
+# tools/benchjson.
+bench-json:
+	mkdir -p results
+	$(GO) test -bench=. -benchmem -run='^$$' . ./internal/sim | $(GO) run ./tools/benchjson > results/BENCH_sim.json
 
 experiments:
 	$(GO) run ./cmd/dpmexp -run all

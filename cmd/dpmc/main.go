@@ -9,11 +9,15 @@
 //	dpmc -bench swim -dap                      # print the DAP
 //	dpmc -dsl prog.sdpm -mode drpm -o out.trace # instrument
 //	dpmc -bench mesa -version TL+DL -print      # show transformed code
+//
+// -v enables debug-level structured logs on stderr; -q keeps only
+// warnings and errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"sdpm"
@@ -32,26 +36,28 @@ func main() {
 	disks := flag.Int("disks", 8, "number of disks")
 	unit := flag.Int64("unit", 64<<10, "stripe unit bytes")
 	layoutSpecs := flag.String("layout", "", "per-array layouts: array=start:factor:unitKB,...")
+	verbose, quiet := cli.LogFlags(flag.CommandLine)
 	flag.Parse()
+	cli.SetupLogging("dpmc", *verbose, *quiet)
 
 	w, err := cli.LoadWorkload(*bench, *dslFile)
 	if err != nil {
-		fail(err)
+		cli.Fatal(err)
 	}
 	cfg := sdpm.DefaultConfig()
 	cfg.NumDisks = *disks
 	cfg.StripeUnitBytes = *unit
 	if err := cli.ApplyLayoutSpecs(w, *layoutSpecs); err != nil {
-		fail(err)
+		cli.Fatal(err)
 	}
 
 	if *version != string(sdpm.Orig) {
 		tw, applied, err := w.Transform(sdpm.Version(*version), cfg)
 		if err != nil {
-			fail(err)
+			cli.Fatal(err)
 		}
 		if !applied {
-			fmt.Fprintf(os.Stderr, "dpmc: %s: transformation %s not applicable; program unchanged\n", w.Name(), *version)
+			slog.Warn("transformation not applicable; program unchanged", "workload", w.Name(), "version", *version)
 		}
 		w = tw
 	}
@@ -64,7 +70,7 @@ func main() {
 		}
 		out, err := w.AnnotatedDSL(scheme, cfg)
 		if err != nil {
-			fail(err)
+			cli.Fatal(err)
 		}
 		fmt.Print(out)
 	case *show:
@@ -72,7 +78,7 @@ func main() {
 	case *dap:
 		d, err := w.DAP(cfg)
 		if err != nil {
-			fail(err)
+			cli.Fatal(err)
 		}
 		fmt.Print(d)
 	default:
@@ -80,24 +86,19 @@ func main() {
 		if *mode == "tpm" {
 			scheme = sdpm.CMTPM
 		} else if *mode != "drpm" {
-			fail(fmt.Errorf("unknown mode %q", *mode))
+			cli.Fatal(fmt.Errorf("unknown mode %q", *mode))
 		}
 		dst := os.Stdout
 		if *out != "" {
 			f, err := os.Create(*out)
 			if err != nil {
-				fail(err)
+				cli.Fatal(err)
 			}
 			defer f.Close()
 			dst = f
 		}
 		if err := w.WriteTrace(dst, scheme, cfg); err != nil {
-			fail(err)
+			cli.Fatal(err)
 		}
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "dpmc:", err)
-	os.Exit(1)
 }

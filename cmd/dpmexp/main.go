@@ -5,14 +5,27 @@
 //	dpmexp -run all
 //	dpmexp -run fig3
 //	dpmexp -list
+//
+// Observability:
+//
+//	-metrics-out FILE   write Prometheus text-format metrics for the
+//	                    whole run (simulation latency histograms,
+//	                    per-disk residency, instance-cache hit/miss/
+//	                    singleflight counts, worker-pool utilization)
+//	                    after the experiments complete; "-" writes to
+//	                    stderr so stdout keeps only the tables
+//	-v / -q             debug-level / warnings-only structured logs
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 
 	"sdpm"
+	"sdpm/internal/cli"
 )
 
 func main() {
@@ -20,7 +33,10 @@ func main() {
 	format := flag.String("format", "text", "output format: text or csv")
 	workers := flag.Int("workers", 0, "worker goroutines per experiment (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	metricsOut := flag.String("metrics-out", "", "write Prometheus text-format metrics to this file after the experiments (- for stderr)")
+	verbose, quiet := cli.LogFlags(flag.CommandLine)
 	flag.Parse()
+	cli.SetupLogging("dpmexp", *verbose, *quiet)
 
 	if *list {
 		for _, id := range sdpm.ExperimentIDs() {
@@ -29,8 +45,27 @@ func main() {
 		return
 	}
 	opts := sdpm.Options{Format: *format, Workers: *workers}
+	var metricsFile *os.File
+	if *metricsOut != "" {
+		// The tables own stdout; "-" routes the exposition to stderr.
+		var dst io.Writer = os.Stderr
+		if *metricsOut != "-" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				cli.Fatal(err)
+			}
+			metricsFile = f
+			dst = f
+		}
+		opts.Metrics = dst
+	}
 	if err := sdpm.RunExperiments(*run, os.Stdout, opts); err != nil {
-		fmt.Fprintln(os.Stderr, "dpmexp:", err)
-		os.Exit(1)
+		cli.Fatal(err)
+	}
+	if metricsFile != nil {
+		if err := metricsFile.Close(); err != nil {
+			cli.Fatal(err)
+		}
+		slog.Debug("metrics written", "path", *metricsOut)
 	}
 }

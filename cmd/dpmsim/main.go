@@ -8,15 +8,32 @@
 //	dpmsim -trace swim.trace -policy drpm
 //	dpmsim -trace swim.trace -policy embedded   # honor trace power ops
 //	dpmsim -trace swim.trace -policy all        # compare every policy
+//
+// Observability:
+//
+//	-metrics-out FILE   write Prometheus text-format metrics (request
+//	                    latency histograms, per-disk RPM/state
+//	                    residency, power ops, spin-up mispredictions)
+//	                    after the run; "-" writes them to stdout and
+//	                    moves the human-readable report to stderr so
+//	                    stdout stays pure Prometheus exposition
+//	-trace-out FILE     write a Chrome trace-event / Perfetto JSON
+//	                    timeline of the run (open in ui.perfetto.dev
+//	                    or chrome://tracing); single-policy runs only
+//	-v / -q             debug-level / warnings-only structured logs
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"strings"
 
+	"sdpm/internal/cli"
 	"sdpm/internal/disk"
+	"sdpm/internal/obs"
 	"sdpm/internal/policy"
 	"sdpm/internal/runner"
 	"sdpm/internal/sim"
@@ -34,10 +51,14 @@ func main() {
 	distSeek := flag.Bool("distseek", false, "distance-dependent seek times instead of the datasheet average")
 	timeline := flag.Int("timeline", 0, "print up to N timeline segments per disk")
 	workers := flag.Int("workers", 0, "worker goroutines for -policy all (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
+	metricsOut := flag.String("metrics-out", "", "write Prometheus text-format metrics to this file after the run (- for stdout; the report then moves to stderr)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event / Perfetto JSON timeline to this file (single-policy runs)")
+	verbose, quiet := cli.LogFlags(flag.CommandLine)
 	flag.Parse()
+	cli.SetupLogging("dpmsim", *verbose, *quiet)
 
 	if *traceFile == "" {
-		fail(fmt.Errorf("-trace is required"))
+		cli.Fatal(fmt.Errorf("-trace is required"))
 	}
 	var src *os.File
 	if *traceFile == "-" {
@@ -45,14 +66,26 @@ func main() {
 	} else {
 		f, err := os.Open(*traceFile)
 		if err != nil {
-			fail(err)
+			cli.Fatal(err)
 		}
 		defer f.Close()
 		src = f
 	}
 	tr, err := trace.Decode(src)
 	if err != nil {
-		fail(err)
+		cli.Fatal(err)
+	}
+	slog.Debug("trace loaded", "program", tr.Program, "events", len(tr.Events), "disks", tr.NumDisks)
+
+	var coll *obs.Collector
+	if *metricsOut != "" {
+		coll = obs.New()
+	}
+	// With metrics on stdout, the human-readable report moves to
+	// stderr so stdout remains valid Prometheus exposition.
+	report := io.Writer(os.Stdout)
+	if *metricsOut == "-" {
+		report = os.Stderr
 	}
 
 	p := disk.DefaultParams()
@@ -60,60 +93,110 @@ func main() {
 		Disk:                p,
 		PowerCallOverheadMS: sim.DefaultPowerCallOverheadMS,
 		DistanceAwareSeek:   *distSeek,
-		RecordTimeline:      *timeline > 0,
+		RecordTimeline:      *timeline > 0 || *traceOut != "",
+		Obs:                 coll,
 	}
 
 	if strings.EqualFold(*pol, "all") {
-		if err := runAll(tr, baseCfg, *openLoop, *workers); err != nil {
-			fail(err)
+		if *traceOut != "" {
+			slog.Warn("-trace-out applies to single-policy runs; ignoring it with -policy all")
 		}
+		if err := runAll(report, tr, baseCfg, *openLoop, *workers, coll); err != nil {
+			cli.Fatal(err)
+		}
+		writeMetrics(*metricsOut, coll)
 		return
 	}
 
 	cfg := baseCfg
 	cfg.Policy, cfg.IgnorePowerOps, err = policyFor(*pol, p, tr.NumDisks)
 	if err != nil {
-		fail(err)
+		cli.Fatal(err)
 	}
 	res, err := runOnce(tr, cfg, *openLoop)
 	if err != nil {
-		fail(err)
+		cli.Fatal(err)
 	}
-	fmt.Printf("program      %s\n", tr.Program)
-	fmt.Printf("policy       %s\n", *pol)
-	fmt.Printf("disks        %d\n", tr.NumDisks)
-	fmt.Printf("requests     %d\n", res.Requests)
-	fmt.Printf("power ops    %d\n", res.PowerOps)
-	fmt.Printf("energy       %.2f J\n", res.EnergyJ)
-	fmt.Printf("exec time    %.2f ms\n", res.ExecMS)
-	fmt.Printf("wait time    %.2f ms\n", res.TotalWaitMS)
-	fmt.Printf("avg power    %.2f W\n", res.EnergyJ/res.ExecMS*1e3)
+	slog.Debug("run complete", "policy", *pol, "energy_j", res.EnergyJ, "exec_ms", res.ExecMS)
+	fmt.Fprintf(report, "program      %s\n", tr.Program)
+	fmt.Fprintf(report, "policy       %s\n", *pol)
+	fmt.Fprintf(report, "scheme       %s\n", res.Scheme)
+	fmt.Fprintf(report, "disks        %d\n", tr.NumDisks)
+	fmt.Fprintf(report, "requests     %d\n", res.Requests)
+	fmt.Fprintf(report, "power ops    %d\n", res.PowerOps)
+	fmt.Fprintf(report, "energy       %.2f J\n", res.EnergyJ)
+	fmt.Fprintf(report, "exec time    %.2f ms\n", res.ExecMS)
+	fmt.Fprintf(report, "wait time    %.2f ms\n", res.TotalWaitMS)
+	fmt.Fprintf(report, "avg power    %.2f W\n", res.EnergyJ/res.ExecMS*1e3)
 	if *timeline > 0 {
 		for d, segs := range res.Timelines {
-			fmt.Printf("disk%d timeline (%d segments):\n", d, len(segs))
+			fmt.Fprintf(report, "disk%d timeline (%d segments):\n", d, len(segs))
 			for i, sg := range segs {
 				if i >= *timeline {
-					fmt.Printf("  ... %d more\n", len(segs)-i)
+					fmt.Fprintf(report, "  ... %d more\n", len(segs)-i)
 					break
 				}
 				mode := sg.Stat.String()
 				if sg.Active {
 					mode = "service"
 				}
-				fmt.Printf("  %10.2f..%10.2f ms  %-8s %5d RPM  %6.2f W\n",
+				fmt.Fprintf(report, "  %10.2f..%10.2f ms  %-8s %5d RPM  %6.2f W\n",
 					sg.StartMS, sg.EndMS, mode, sg.RPM, sg.PowerW)
 			}
 		}
 	}
 	if *perDisk {
-		fmt.Printf("%-5s %10s %10s %10s %10s %10s %6s %5s %5s %6s\n",
+		fmt.Fprintf(report, "%-5s %10s %10s %10s %10s %10s %6s %5s %5s %6s\n",
 			"disk", "energy(J)", "active(ms)", "idle(ms)", "stby(ms)", "trans(ms)", "reqs", "down", "up", "shift")
 		for d, st := range res.Disks {
-			fmt.Printf("%-5d %10.2f %10.1f %10.1f %10.1f %10.1f %6d %5d %5d %6d\n",
+			fmt.Fprintf(report, "%-5d %10.2f %10.1f %10.1f %10.1f %10.1f %6d %5d %5d %6d\n",
 				d, st.EnergyJ, st.ActiveMS, st.IdleMS, st.StandbyMS, st.TransitionMS,
 				st.Requests, st.SpinDowns, st.SpinUps, st.RPMShifts)
 		}
 	}
+	if *traceOut != "" {
+		writeTraceFile(*traceOut, res)
+	}
+	writeMetrics(*metricsOut, coll)
+}
+
+// writeMetrics dumps the collector in Prometheus text format to the
+// named file ("-" for stdout); empty name is a no-op.
+func writeMetrics(path string, coll *obs.Collector) {
+	if path == "" || coll == nil {
+		return
+	}
+	dst := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := obs.WritePrometheus(dst, coll); err != nil {
+		cli.Fatal(err)
+	}
+	slog.Debug("metrics written", "path", path)
+}
+
+// writeTraceFile dumps the run's recorded timelines as Chrome
+// trace-event JSON ("-" for stdout).
+func writeTraceFile(path string, res *sim.Result) {
+	dst := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := sim.WriteChromeTrace(dst, res); err != nil {
+		cli.Fatal(err)
+	}
+	slog.Debug("trace timeline written", "path", path)
 }
 
 // policyFor builds the named policy; the second result says whether
@@ -153,10 +236,11 @@ func runOnce(tr *trace.Trace, cfg sim.Config, openLoop bool) (*sim.Result, error
 // runAll simulates the trace under every reactive policy — one worker
 // per policy, each with its own policy state — and prints a
 // comparison table in canonical order (identical for any worker
-// count).
-func runAll(tr *trace.Trace, baseCfg sim.Config, openLoop bool, workers int) error {
+// count). All runs report into the shared collector when metrics are
+// requested.
+func runAll(report io.Writer, tr *trace.Trace, baseCfg sim.Config, openLoop bool, workers int, coll *obs.Collector) error {
 	results := make([]*sim.Result, len(allPolicies))
-	err := runner.New(workers).Map(len(allPolicies), func(i int) error {
+	err := runner.New(workers).Observe(coll).Map(len(allPolicies), func(i int) error {
 		cfg := baseCfg
 		cfg.RecordTimeline = false
 		var err error
@@ -170,18 +254,13 @@ func runAll(tr *trace.Trace, baseCfg sim.Config, openLoop bool, workers int) err
 	if err != nil {
 		return err
 	}
-	fmt.Printf("program      %s\n", tr.Program)
-	fmt.Printf("disks        %d\n", tr.NumDisks)
-	fmt.Printf("%-8s %12s %12s %12s %10s\n", "policy", "energy(J)", "exec(ms)", "wait(ms)", "power(W)")
+	fmt.Fprintf(report, "program      %s\n", tr.Program)
+	fmt.Fprintf(report, "disks        %d\n", tr.NumDisks)
+	fmt.Fprintf(report, "%-8s %12s %12s %12s %10s\n", "policy", "energy(J)", "exec(ms)", "wait(ms)", "power(W)")
 	for i, name := range allPolicies {
 		r := results[i]
-		fmt.Printf("%-8s %12.2f %12.2f %12.2f %10.2f\n",
+		fmt.Fprintf(report, "%-8s %12.2f %12.2f %12.2f %10.2f\n",
 			name, r.EnergyJ, r.ExecMS, r.TotalWaitMS, r.EnergyJ/r.ExecMS*1e3)
 	}
 	return nil
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "dpmsim:", err)
-	os.Exit(1)
 }

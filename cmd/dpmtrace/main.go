@@ -6,11 +6,14 @@
 //
 //	dpmtrace -bench swim > swim.trace
 //	dpmtrace -dsl prog.sdpm -scheme CMDRPM -o prog.trace
+//
+// -v enables debug-level structured logs on stderr; -q keeps only
+// warnings and errors.
 package main
 
 import (
 	"flag"
-	"fmt"
+	"log/slog"
 	"os"
 
 	"sdpm"
@@ -24,12 +27,15 @@ func main() {
 	disks := flag.Int("disks", 8, "number of disks")
 	unit := flag.Int64("unit", 64<<10, "stripe unit bytes")
 	out := flag.String("o", "", "output file (default stdout)")
+	verbose, quiet := cli.LogFlags(flag.CommandLine)
 	flag.Parse()
+	cli.SetupLogging("dpmtrace", *verbose, *quiet)
 
 	w, err := cli.LoadWorkload(*bench, *dslFile)
 	if err != nil {
-		fail(err)
+		cli.Fatal(err)
 	}
+	slog.Debug("workload loaded", "name", w.Name(), "scheme", *scheme, "disks", *disks)
 	cfg := sdpm.DefaultConfig()
 	cfg.NumDisks = *disks
 	cfg.StripeUnitBytes = *unit
@@ -38,17 +44,12 @@ func main() {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fail(err)
+			cli.Fatal(err)
 		}
 		defer f.Close()
 		dst = f
 	}
 	if err := w.WriteTrace(dst, sdpm.Scheme(*scheme), cfg); err != nil {
-		fail(err)
+		cli.Fatal(err)
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "dpmtrace:", err)
-	os.Exit(1)
 }

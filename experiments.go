@@ -3,9 +3,11 @@ package sdpm
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"sort"
 
 	"sdpm/internal/experiments"
+	"sdpm/internal/obs"
 	"sdpm/internal/stats"
 )
 
@@ -30,6 +32,12 @@ type Options struct {
 	// sequential, 0 (the default) selects GOMAXPROCS. Output is
 	// byte-identical for every value.
 	Workers int
+	// Metrics, when non-nil, receives a Prometheus text-format dump
+	// of the engine's observability metrics (simulation counters and
+	// latency histograms, per-disk residency, instance-cache
+	// hit/miss/singleflight counts, worker-pool utilization) after
+	// the experiments complete.
+	Metrics io.Writer
 }
 
 // RunExperiment regenerates one of the paper's tables or figures (or
@@ -60,6 +68,9 @@ func RunExperiments(id string, out io.Writer, opts Options) error {
 	}
 	s := experiments.NewSuite()
 	s.Workers = opts.Workers
+	if opts.Metrics != nil {
+		s.Obs = obs.New()
+	}
 	if id == "all" {
 		for _, e := range ExperimentIDs() {
 			if err := runOne(s, e, out, format); err != nil {
@@ -67,17 +78,30 @@ func RunExperiments(id string, out io.Writer, opts Options) error {
 			}
 			fmt.Fprintln(out)
 		}
+		return writeMetrics(opts.Metrics, s.Obs)
+	}
+	if err := runOne(s, id, out, format); err != nil {
+		return err
+	}
+	return writeMetrics(opts.Metrics, s.Obs)
+}
+
+// writeMetrics dumps the suite collector in Prometheus text format.
+func writeMetrics(w io.Writer, c *obs.Collector) error {
+	if w == nil || c == nil {
 		return nil
 	}
-	return runOne(s, id, out, format)
+	return obs.WritePrometheus(w, c)
 }
 
 // runOne builds and renders a single experiment on a prepared suite.
 func runOne(s *experiments.Suite, id string, out io.Writer, format string) error {
+	slog.Debug("experiment start", "id", id, "workers", s.Workers)
 	text, table, err := buildArtifact(s, id)
 	if err != nil {
 		return err
 	}
+	slog.Debug("experiment done", "id", id)
 	if table != nil {
 		if format == "csv" {
 			return table.RenderCSV(out)

@@ -1,0 +1,47 @@
+package cli
+
+import (
+	"flag"
+	"log/slog"
+	"os"
+)
+
+// LogFlags registers the logging verbosity flags shared by all four
+// tools and returns their destinations; call SetupLogging with them
+// after flag.Parse.
+func LogFlags(fs *flag.FlagSet) (verbose, quiet *bool) {
+	verbose = fs.Bool("v", false, "verbose: enable debug-level logging on stderr")
+	quiet = fs.Bool("q", false, "quiet: log only warnings and errors")
+	return verbose, quiet
+}
+
+// SetupLogging installs the tools' structured logger: slog text
+// output on stderr at info level by default, debug with -v, warn
+// with -q. Timestamps are omitted so stderr stays deterministic and
+// diffable; the tool name is attached to every record.
+func SetupLogging(tool string, verbose, quiet bool) {
+	lvl := slog.LevelInfo
+	switch {
+	case verbose:
+		lvl = slog.LevelDebug
+	case quiet:
+		lvl = slog.LevelWarn
+	}
+	h := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{
+		Level: lvl,
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if a.Key == slog.TimeKey && len(groups) == 0 {
+				return slog.Attr{}
+			}
+			return a
+		},
+	})
+	slog.SetDefault(slog.New(h).With("tool", tool))
+}
+
+// Fatal logs the error through the structured logger and exits 1 —
+// the tools' replacement for ad-hoc fmt.Fprintf(os.Stderr, ...).
+func Fatal(err error) {
+	slog.Error("fatal", "err", err)
+	os.Exit(1)
+}

@@ -5,9 +5,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"sdpm/internal/ir"
 	"sdpm/internal/layout"
+	"sdpm/internal/obs"
 )
 
 // Cache memoizes prepared instances so the expensive front half of
@@ -25,12 +27,22 @@ import (
 // version tag and memoizes the whole ApplyVersion+Prepare pair, which
 // is deterministic in its inputs.
 type Cache struct {
+	// Obs, when non-nil, receives hit/miss/singleflight-wait counts
+	// from every lookup and is propagated onto each prepared
+	// Instance (so simulation runs on cached instances are observed
+	// too). Set it before first use.
+	Obs *obs.Collector
+
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
 }
 
 type cacheEntry struct {
 	once sync.Once
+	// done flips after once completes; a caller that finds the entry
+	// neither done nor runnable blocked on a concurrent preparation
+	// (the singleflight-wait case in the metrics).
+	done atomic.Bool
 	// prog pins the keyed program so its address cannot be reused by
 	// the allocator while the entry is alive.
 	prog    *ir.Program
@@ -90,10 +102,36 @@ func overridesKey(overrides map[string]layout.Striping) string {
 func (c *Cache) Prepare(name string, p *ir.Program, cfg Config, overrides map[string]layout.Striping) (*Instance, error) {
 	key := fmt.Sprintf("p|%s|%p|%s|%s", name, p, cfg.Fingerprint(), overridesKey(overrides))
 	e := c.entry(key, p)
+	wasDone := e.done.Load()
+	ran := false
 	e.once.Do(func() {
+		ran = true
 		e.in, e.err = Prepare(name, p, cfg, overrides)
+		if e.in != nil {
+			e.in.Obs = c.Obs
+		}
+		e.done.Store(true)
 	})
+	c.countLookup(ran, wasDone)
 	return e.in, e.err
+}
+
+// countLookup classifies one lookup for the metrics: the caller
+// either did the preparation (miss), found it already memoized
+// (hit), or blocked on another goroutine's in-flight preparation
+// (singleflight wait).
+func (c *Cache) countLookup(ran, wasDone bool) {
+	if c.Obs == nil {
+		return
+	}
+	switch {
+	case ran:
+		c.Obs.CountCacheMiss()
+	case wasDone:
+		c.Obs.CountCacheHit()
+	default:
+		c.Obs.CountCacheWait()
+	}
 }
 
 // PrepareVersion is a memoizing core.PrepareVersion: the code/layout
@@ -102,7 +140,11 @@ func (c *Cache) Prepare(name string, p *ir.Program, cfg Config, overrides map[st
 func (c *Cache) PrepareVersion(name string, p *ir.Program, v Version, cfg Config) (*Instance, bool, error) {
 	key := fmt.Sprintf("v|%s|%p|%s|%s", name, p, v, cfg.Fingerprint())
 	e := c.entry(key, p)
+	wasDone := e.done.Load()
+	ran := false
 	e.once.Do(func() {
+		ran = true
+		defer e.done.Store(true)
 		var nestCost []float64
 		if v == VTLDL {
 			// The layout-aware tiler needs the original program's
@@ -120,7 +162,11 @@ func (c *Cache) PrepareVersion(name string, p *ir.Program, v Version, cfg Config
 			return
 		}
 		e.in, e.err = Prepare(name+"/"+string(v), tp, cfg, overrides)
+		if e.in != nil {
+			e.in.Obs = c.Obs
+		}
 		e.applied = applied
 	})
+	c.countLookup(ran, wasDone)
 	return e.in, e.applied, e.err
 }

@@ -16,6 +16,7 @@ import (
 	"sdpm/internal/insert"
 	"sdpm/internal/ir"
 	"sdpm/internal/layout"
+	"sdpm/internal/obs"
 	"sdpm/internal/oracle"
 	"sdpm/internal/policy"
 	"sdpm/internal/sim"
@@ -152,6 +153,12 @@ type Instance struct {
 	Sub     *layout.Subsystem
 	Sites   []tracegen.Site
 	Cfg     Config
+	// Obs, when non-nil, receives metrics from every simulation run
+	// on this instance. Set it before the first Run (Cache sets it
+	// automatically from its own collector). It is deliberately not
+	// part of the memoization key: collectors observe runs, they do
+	// not change them.
+	Obs *obs.Collector
 
 	mu        sync.Mutex // guards the lazy caches below
 	baseTrace *trace.Trace
@@ -241,6 +248,7 @@ func (in *Instance) Run(s Scheme) (*sim.Result, error) {
 		Disk:                in.Cfg.Disk,
 		PowerCallOverheadMS: in.Cfg.PowerCallOverheadMS,
 		DistanceAwareSeek:   in.Cfg.DistanceAwareSeek,
+		Obs:                 in.Obs,
 	}
 	tr := in.BaseTrace()
 	switch s {
@@ -284,6 +292,7 @@ func (in *Instance) RunOpen(s Scheme) (*sim.Result, error) {
 	cfg := sim.Config{
 		Disk:              in.Cfg.Disk,
 		DistanceAwareSeek: in.Cfg.DistanceAwareSeek,
+		Obs:               in.Obs,
 	}
 	switch s {
 	case Base:

@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"sdpm/internal/core"
+	"sdpm/internal/obs"
 	"sdpm/internal/runner"
 	"sdpm/internal/stats"
 	"sdpm/internal/workloads"
@@ -44,6 +45,11 @@ type Suite struct {
 	// sequential, 0 selects GOMAXPROCS. Results are byte-identical
 	// for every value.
 	Workers int
+	// Obs, when non-nil, observes the whole suite: every simulation
+	// run, instance-cache lookup, and worker-pool cell reports into
+	// it. Set it before the first experiment; render with
+	// obs.WritePrometheus.
+	Obs *obs.Collector
 
 	cacheOnce sync.Once
 	cache     *core.Cache
@@ -60,14 +66,17 @@ func NewSuite() *Suite {
 // memo returns the suite's shared instance cache (created lazily so
 // zero-constructed suites work too).
 func (s *Suite) memo() *core.Cache {
-	s.cacheOnce.Do(func() { s.cache = core.NewCache() })
+	s.cacheOnce.Do(func() {
+		s.cache = core.NewCache()
+		s.cache.Obs = s.Obs
+	})
 	return s.cache
 }
 
 // pool returns a worker pool honoring s.Workers. Experiments run one
 // at a time, so a fresh pool per experiment keeps the global bound.
 func (s *Suite) pool() *runner.Pool {
-	return runner.New(s.Workers)
+	return runner.New(s.Workers).Observe(s.Obs)
 }
 
 // configFor specializes the suite configuration for one benchmark.

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// TraceEvent is one event of the Chrome trace-event format (the JSON
+// consumed by Perfetto and chrome://tracing). Timestamps and
+// durations are in microseconds. The field set covers the phases the
+// exporter emits: complete spans ("X"), instants ("i"), counters
+// ("C"), and metadata ("M").
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope: "t" thread, "p" process, "g" global
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON object format of a trace file.
+type chromeTrace struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace writes the events as a Chrome trace-event JSON
+// object that loads in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Output is deterministic for a given event slice
+// (map-valued args are marshaled with sorted keys).
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{DisplayTimeUnit: "ms", TraceEvents: events})
+}

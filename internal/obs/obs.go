@@ -1,0 +1,406 @@
+// Package obs is the engine's observability layer: a low-overhead
+// metrics collector threaded through the simulator (request service
+// and wait latency, idle-period lengths, per-disk state and RPM
+// residency, power ops, spin-up mispredictions), the instance cache
+// (hit/miss/singleflight-wait), and the worker pool (task counts,
+// utilization, queue depth), plus two exporters — Prometheus text
+// exposition (WritePrometheus) and Chrome trace-event / Perfetto JSON
+// (WriteChromeTrace).
+//
+// A nil *Collector is a valid no-op everywhere: every method guards
+// its receiver, so instrumented code paths carry a single branch and
+// zero allocations when observability is off. An attached Collector
+// also allocates nothing per event: histograms are fixed atomic
+// arrays, per-disk storage is preallocated by EnsureDisks, and all
+// updates are atomic adds (float accumulators use a CAS loop). One
+// Collector may be shared by any number of concurrent simulations,
+// cache lookups, and pool workers.
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// afloat is an atomically-updatable float64 accumulator.
+type afloat struct{ bits atomic.Uint64 }
+
+func (f *afloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *afloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// bucketBoundsMS holds the shared latency/duration bucket upper
+// bounds in milliseconds. Service times are single-digit ms, waits
+// span zero to multi-second spin-ups, and idle periods reach minutes,
+// so the grid covers 0.5 ms through 5 minutes.
+var bucketBoundsMS = [16]float64{
+	0.5, 1, 2.5, 5, 10, 25, 50, 100,
+	250, 500, 1000, 2500, 5000, 15000, 60000, 300000,
+}
+
+// Histogram is a fixed-bucket histogram of millisecond durations.
+// Observations are lock-free and allocation-free.
+type Histogram struct {
+	counts [len(bucketBoundsMS) + 1]atomic.Int64 // last bucket is +Inf
+	sum    afloat
+	count  atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(bucketBoundsMS) && v > bucketBoundsMS[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// DiskState labels per-disk residency time. The states mirror the
+// simulator's power states, with spinning time split into idle and
+// request service.
+type DiskState uint8
+
+// Disk residency states.
+const (
+	StateService DiskState = iota
+	StateIdle
+	StateStandby
+	StateSpinDown
+	StateSpinUp
+	StateRPMShift
+	numDiskStates
+)
+
+// String returns the Prometheus label value of the state.
+func (s DiskState) String() string {
+	switch s {
+	case StateService:
+		return "service"
+	case StateIdle:
+		return "idle"
+	case StateStandby:
+		return "standby"
+	case StateSpinDown:
+		return "spindown"
+	case StateSpinUp:
+		return "spinup"
+	default:
+		return "rpmshift"
+	}
+}
+
+// PowerOpKind labels executed power-management operations.
+type PowerOpKind uint8
+
+// Power op kinds (matching the trace's call names).
+const (
+	OpSpinDown PowerOpKind = iota
+	OpSpinUp
+	OpSetRPM
+	numPowerOpKinds
+)
+
+// String returns the Prometheus label value of the kind.
+func (k PowerOpKind) String() string {
+	switch k {
+	case OpSpinDown:
+		return "spin_down"
+	case OpSpinUp:
+		return "spin_up"
+	default:
+		return "set_rpm"
+	}
+}
+
+// diskMetrics holds one disk's accumulators. The RPM residency grid
+// is fixed at creation (EnsureDisks) from the disk model's level
+// parameters; residency at an RPM outside the grid lands in otherMS.
+type diskMetrics struct {
+	requests atomic.Int64
+	stateMS  [numDiskStates]afloat
+	minRPM   int
+	rpmStep  int
+	rpmMS    []afloat
+	otherMS  afloat
+}
+
+// levelIndex maps an RPM value onto the residency grid.
+func (d *diskMetrics) levelIndex(rpm int) (int, bool) {
+	if d.rpmStep <= 0 {
+		return 0, false
+	}
+	off := rpm - d.minRPM
+	if off < 0 || off%d.rpmStep != 0 {
+		return 0, false
+	}
+	i := off / d.rpmStep
+	if i >= len(d.rpmMS) {
+		return 0, false
+	}
+	return i, true
+}
+
+// Collector accumulates engine metrics. Construct with New; a nil
+// *Collector is a valid no-op sink.
+type Collector struct {
+	simRuns  atomic.Int64
+	requests atomic.Int64
+	powerOps [numPowerOpKinds]atomic.Int64
+	// Spin-up mispredictions: requests that blocked on a disk that
+	// was not ready because of a spin-up. "inflight" is the paper's
+	// pre-activation failure mode (the spin-up was issued but too
+	// late); "ondemand" means no pre-activation happened at all (the
+	// request found the disk in or heading to standby).
+	missOnDemand atomic.Int64
+	missInflight atomic.Int64
+
+	serviceMS Histogram
+	waitMS    Histogram
+	idleMS    Histogram
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	cacheWaits  atomic.Int64
+
+	runnerTasks  atomic.Int64
+	runnerBusyNS atomic.Int64
+	runnerActive atomic.Int64
+	runnerQueue  atomic.Int64
+
+	mu    sync.Mutex // serializes EnsureDisks growth
+	disks atomic.Pointer[[]*diskMetrics]
+}
+
+// New returns an empty collector.
+func New() *Collector { return &Collector{} }
+
+// EnsureDisks guarantees per-disk storage for disks [0, n) with an
+// RPM residency grid of numLevels levels starting at minRPM in steps
+// of rpmStep. It is idempotent and may be called concurrently; disks
+// already present keep their grid. Call it once per simulation setup
+// so the per-event paths never allocate.
+func (c *Collector) EnsureDisks(n, minRPM, rpmStep, numLevels int) {
+	if c == nil {
+		return
+	}
+	if cur := c.disks.Load(); cur != nil && len(*cur) >= n {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.disks.Load()
+	if cur != nil && len(*cur) >= n {
+		return
+	}
+	var ds []*diskMetrics
+	if cur != nil {
+		ds = append(ds, *cur...)
+	}
+	for i := len(ds); i < n; i++ {
+		if numLevels < 1 {
+			numLevels = 1
+		}
+		ds = append(ds, &diskMetrics{minRPM: minRPM, rpmStep: rpmStep, rpmMS: make([]afloat, numLevels)})
+	}
+	c.disks.Store(&ds)
+}
+
+// disk returns disk d's accumulators (nil when EnsureDisks has not
+// covered d).
+func (c *Collector) disk(d int) *diskMetrics {
+	ds := c.disks.Load()
+	if ds == nil || d < 0 || d >= len(*ds) {
+		return nil
+	}
+	return (*ds)[d]
+}
+
+// NumDisks reports how many disks EnsureDisks has covered.
+func (c *Collector) NumDisks() int {
+	if c == nil {
+		return 0
+	}
+	ds := c.disks.Load()
+	if ds == nil {
+		return 0
+	}
+	return len(*ds)
+}
+
+// CountSimRun records the start of one simulation run.
+func (c *Collector) CountSimRun() {
+	if c == nil {
+		return
+	}
+	c.simRuns.Add(1)
+}
+
+// ObserveRequest records one serviced request on disk d: its service
+// time, its readiness wait, and the idle period that ended at its
+// issue.
+func (c *Collector) ObserveRequest(d int, svcMS, waitMS, idleMS float64) {
+	if c == nil {
+		return
+	}
+	c.requests.Add(1)
+	if dm := c.disk(d); dm != nil {
+		dm.requests.Add(1)
+	}
+	c.serviceMS.Observe(svcMS)
+	c.waitMS.Observe(waitMS)
+	c.idleMS.Observe(idleMS)
+}
+
+// ObserveResidency accumulates ms of residency for disk d in the
+// given state; rpm attributes spinning time (service/idle) to the
+// disk's RPM residency grid and is ignored for the other states.
+func (c *Collector) ObserveResidency(d int, st DiskState, rpm int, ms float64) {
+	if c == nil {
+		return
+	}
+	dm := c.disk(d)
+	if dm == nil {
+		return
+	}
+	dm.stateMS[st].Add(ms)
+	if st == StateService || st == StateIdle {
+		if i, ok := dm.levelIndex(rpm); ok {
+			dm.rpmMS[i].Add(ms)
+		} else {
+			dm.otherMS.Add(ms)
+		}
+	}
+}
+
+// CountPowerOp records one executed power-management operation.
+func (c *Collector) CountPowerOp(k PowerOpKind) {
+	if c == nil {
+		return
+	}
+	c.powerOps[k].Add(1)
+}
+
+// CountSpinupMiss records a request that blocked on a spin-up:
+// onDemand when the disk was still in (or heading to) standby — no
+// pre-activation at all — and in-flight otherwise (the spin-up was
+// issued but completed too late).
+func (c *Collector) CountSpinupMiss(onDemand bool) {
+	if c == nil {
+		return
+	}
+	if onDemand {
+		c.missOnDemand.Add(1)
+	} else {
+		c.missInflight.Add(1)
+	}
+}
+
+// SpinupMisses returns the (ondemand, inflight) misprediction counts.
+func (c *Collector) SpinupMisses() (onDemand, inflight int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.missOnDemand.Load(), c.missInflight.Load()
+}
+
+// Requests returns the total request count.
+func (c *Collector) Requests() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.requests.Load()
+}
+
+// PowerOps returns the executed op count for one kind.
+func (c *Collector) PowerOps(k PowerOpKind) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.powerOps[k].Load()
+}
+
+// CountCacheHit records an instance-cache hit (preparation already
+// memoized).
+func (c *Collector) CountCacheHit() {
+	if c == nil {
+		return
+	}
+	c.cacheHits.Add(1)
+}
+
+// CountCacheMiss records an instance-cache miss (this caller did the
+// preparation).
+func (c *Collector) CountCacheMiss() {
+	if c == nil {
+		return
+	}
+	c.cacheMisses.Add(1)
+}
+
+// CountCacheWait records a singleflight wait (another goroutine was
+// already preparing the same key and this caller blocked on it).
+func (c *Collector) CountCacheWait() {
+	if c == nil {
+		return
+	}
+	c.cacheWaits.Add(1)
+}
+
+// CacheStats returns the (hits, misses, singleflight-waits) counts.
+func (c *Collector) CacheStats() (hits, misses, waits int64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	return c.cacheHits.Load(), c.cacheMisses.Load(), c.cacheWaits.Load()
+}
+
+// RunnerTask records one completed worker-pool cell and the time it
+// kept its worker busy.
+func (c *Collector) RunnerTask(busyNS int64) {
+	if c == nil {
+		return
+	}
+	c.runnerTasks.Add(1)
+	c.runnerBusyNS.Add(busyNS)
+}
+
+// RunnerWorker adjusts the active-worker gauge.
+func (c *Collector) RunnerWorker(delta int64) {
+	if c == nil {
+		return
+	}
+	c.runnerActive.Add(delta)
+}
+
+// RunnerQueue adjusts the queued-cell gauge.
+func (c *Collector) RunnerQueue(delta int64) {
+	if c == nil {
+		return
+	}
+	c.runnerQueue.Add(delta)
+}
+
+// RunnerStats returns the pool counters: completed tasks, cumulative
+// busy nanoseconds, and the current active/queued gauges.
+func (c *Collector) RunnerStats() (tasks, busyNS, active, queued int64) {
+	if c == nil {
+		return 0, 0, 0, 0
+	}
+	return c.runnerTasks.Load(), c.runnerBusyNS.Load(), c.runnerActive.Load(), c.runnerQueue.Load()
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders the collector in Prometheus text exposition
+// format (version 0.0.4). Output is deterministic: metric families
+// appear in a fixed order, disks in index order, RPM levels ascending.
+// Histogram buckets are cumulative, as the format requires. A nil
+// collector renders an empty (but valid) exposition.
+func WritePrometheus(w io.Writer, c *Collector) error {
+	bw := bufio.NewWriter(w)
+	if c != nil {
+		writeCounter(bw, "sdpm_sim_runs_total", "Simulation runs started.", c.simRuns.Load())
+		writeCounter(bw, "sdpm_requests_total", "Disk requests serviced.", c.requests.Load())
+		writeHistogram(bw, "sdpm_request_service_ms", "Request service time in milliseconds.", &c.serviceMS)
+		writeHistogram(bw, "sdpm_request_wait_ms", "Request readiness wait (spin-up or shift completion) in milliseconds.", &c.waitMS)
+		writeHistogram(bw, "sdpm_idle_period_ms", "Length of the inter-request idle period ending at each request, in milliseconds.", &c.idleMS)
+
+		header(bw, "sdpm_power_ops_total", "Executed power-management operations by kind.", "counter")
+		for k := PowerOpKind(0); k < numPowerOpKinds; k++ {
+			fmt.Fprintf(bw, "sdpm_power_ops_total{kind=%q} %d\n", k.String(), c.powerOps[k].Load())
+		}
+
+		header(bw, "sdpm_spinup_mispredictions_total", "Requests that blocked on a disk spin-up: ondemand = no pre-activation (disk in standby), inflight = pre-activation issued too late.", "counter")
+		fmt.Fprintf(bw, "sdpm_spinup_mispredictions_total{kind=\"ondemand\"} %d\n", c.missOnDemand.Load())
+		fmt.Fprintf(bw, "sdpm_spinup_mispredictions_total{kind=\"inflight\"} %d\n", c.missInflight.Load())
+
+		if ds := c.disks.Load(); ds != nil && len(*ds) > 0 {
+			header(bw, "sdpm_disk_requests_total", "Requests serviced per disk.", "counter")
+			for d, dm := range *ds {
+				fmt.Fprintf(bw, "sdpm_disk_requests_total{disk=\"%d\"} %d\n", d, dm.requests.Load())
+			}
+			header(bw, "sdpm_disk_state_ms_total", "Per-disk residency by power state, in milliseconds.", "counter")
+			for d, dm := range *ds {
+				for st := DiskState(0); st < numDiskStates; st++ {
+					fmt.Fprintf(bw, "sdpm_disk_state_ms_total{disk=\"%d\",state=%q} %s\n",
+						d, st.String(), fmtFloat(dm.stateMS[st].Load()))
+				}
+			}
+			header(bw, "sdpm_disk_rpm_ms_total", "Per-disk spinning-time residency by RPM level, in milliseconds (zero levels omitted).", "counter")
+			for d, dm := range *ds {
+				for i := range dm.rpmMS {
+					if ms := dm.rpmMS[i].Load(); ms != 0 {
+						fmt.Fprintf(bw, "sdpm_disk_rpm_ms_total{disk=\"%d\",rpm=\"%d\"} %s\n",
+							d, dm.minRPM+i*dm.rpmStep, fmtFloat(ms))
+					}
+				}
+				if ms := dm.otherMS.Load(); ms != 0 {
+					fmt.Fprintf(bw, "sdpm_disk_rpm_ms_total{disk=\"%d\",rpm=\"other\"} %s\n", d, fmtFloat(ms))
+				}
+			}
+		}
+
+		writeCounter(bw, "sdpm_cache_hits_total", "Instance-cache hits (preparation already memoized).", c.cacheHits.Load())
+		writeCounter(bw, "sdpm_cache_misses_total", "Instance-cache misses (preparation executed).", c.cacheMisses.Load())
+		writeCounter(bw, "sdpm_cache_singleflight_waits_total", "Instance-cache callers that blocked on a concurrent preparation of the same key.", c.cacheWaits.Load())
+
+		writeCounter(bw, "sdpm_runner_tasks_total", "Worker-pool cells completed.", c.runnerTasks.Load())
+		header(bw, "sdpm_runner_busy_seconds_total", "Cumulative worker busy time in seconds.", "counter")
+		fmt.Fprintf(bw, "sdpm_runner_busy_seconds_total %s\n", fmtFloat(float64(c.runnerBusyNS.Load())/1e9))
+		writeGauge(bw, "sdpm_runner_workers_active", "Workers currently executing a cell.", c.runnerActive.Load())
+		writeGauge(bw, "sdpm_runner_queue_depth", "Cells claimed by no worker yet.", c.runnerQueue.Load())
+	}
+	return bw.Flush()
+}
+
+func header(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func writeCounter(w io.Writer, name, help string, v int64) {
+	header(w, name, help, "counter")
+	fmt.Fprintf(w, "%s %d\n", name, v)
+}
+
+func writeGauge(w io.Writer, name, help string, v int64) {
+	header(w, name, help, "gauge")
+	fmt.Fprintf(w, "%s %d\n", name, v)
+}
+
+func writeHistogram(w io.Writer, name, help string, h *Histogram) {
+	header(w, name, help, "histogram")
+	cum := int64(0)
+	for i := range bucketBoundsMS {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmtFloat(bucketBoundsMS[i]), cum)
+	}
+	cum += h.counts[len(bucketBoundsMS)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, fmtFloat(h.sum.Load()))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
+
+// fmtFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

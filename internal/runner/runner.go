@@ -23,6 +23,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"sdpm/internal/obs"
 )
 
 // Pool is a bounded worker pool. The zero value is not useful; use
@@ -34,6 +37,9 @@ type Pool struct {
 	// which keeps nested Map calls deadlock-free — a caller that
 	// cannot obtain helpers still makes progress inline).
 	helpers chan struct{}
+	// obs receives task counts, busy time, and the active-worker and
+	// queue-depth gauges when non-nil (see Observe).
+	obs *obs.Collector
 }
 
 // New returns a pool bounded at the given number of workers.
@@ -43,6 +49,18 @@ func New(workers int) *Pool {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Pool{workers: workers, helpers: make(chan struct{}, workers-1)}
+}
+
+// Observe attaches a metrics collector to the pool and returns the
+// pool (for chaining with New). Every Map cell then counts toward
+// the collector's task total and busy time, and the active-worker
+// and queue-depth gauges track the pool live. A nil collector (or a
+// nil pool) is a no-op.
+func (p *Pool) Observe(c *obs.Collector) *Pool {
+	if p != nil {
+		p.obs = c
+	}
+	return p
 }
 
 // Workers returns the pool's worker bound (1 for a nil pool).
@@ -61,9 +79,28 @@ func (p *Pool) Map(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	var c *obs.Collector
+	if p != nil {
+		c = p.obs
+	}
+	run := fn
+	if c != nil {
+		c.RunnerQueue(int64(n))
+		run = func(i int) error {
+			c.RunnerQueue(-1)
+			t0 := time.Now()
+			err := fn(i)
+			c.RunnerTask(time.Since(t0).Nanoseconds())
+			return err
+		}
+	}
 	if p == nil || p.workers <= 1 || n == 1 {
+		c.RunnerWorker(1)
+		defer c.RunnerWorker(-1)
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := run(i); err != nil {
+				// Cells n-i-1.. were never claimed; drain the gauge.
+				c.RunnerQueue(int64(-(n - i - 1)))
 				return err
 			}
 		}
@@ -72,12 +109,14 @@ func (p *Pool) Map(n int, fn func(i int) error) error {
 	errs := make([]error, n)
 	var next atomic.Int64
 	work := func() {
+		c.RunnerWorker(1)
+		defer c.RunnerWorker(-1)
 		for {
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
 			}
-			errs[i] = fn(i)
+			errs[i] = run(i)
 		}
 	}
 	var wg sync.WaitGroup

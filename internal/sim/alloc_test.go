@@ -1,0 +1,49 @@
+package sim_test
+
+import (
+	"testing"
+
+	"sdpm/internal/disk"
+	"sdpm/internal/obs"
+	"sdpm/internal/sim"
+)
+
+// runAllocs measures allocations per sim.Run of the given trace size
+// with an optional pre-attached collector.
+func runAllocs(t *testing.T, nReqs int, coll *obs.Collector) float64 {
+	t.Helper()
+	tr := hotTrace(4, nReqs, 2.0)
+	cfg := sim.Config{Disk: disk.DefaultParams(), Obs: coll}
+	run := func() {
+		if _, err := sim.Run(tr, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm up (EnsureDisks, pools) outside the measured region
+	return testing.AllocsPerRun(50, run)
+}
+
+// TestRunAllocsNilCollector guards the uninstrumented hot path: with
+// a nil collector, a whole closed-loop run must stay within the
+// baseline allocation budget regardless of trace length — per-request
+// work allocates nothing.
+func TestRunAllocsNilCollector(t *testing.T) {
+	if got := runAllocs(t, 2000, nil); got > 24 {
+		t.Errorf("sim.Run with nil collector: %.0f allocs/run, want <= 24", got)
+	}
+}
+
+// TestRunAllocsAttachedCollector guards the instrumented hot path: an
+// attached, pre-warmed collector must add zero allocations per
+// request event, so runs of different lengths allocate identically.
+func TestRunAllocsAttachedCollector(t *testing.T) {
+	coll := obs.New()
+	small := runAllocs(t, 500, coll)
+	large := runAllocs(t, 4000, coll)
+	if large != small {
+		t.Errorf("allocs grew with trace length under an attached collector: %.0f (500 reqs) vs %.0f (4000 reqs); the per-event path must not allocate", small, large)
+	}
+	if base := runAllocs(t, 500, nil); small > base {
+		t.Errorf("attaching a collector raised per-run allocs: %.0f with vs %.0f without", small, base)
+	}
+}

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"sdpm/internal/obs"
+)
+
+// ChromeTraceEvents converts a recorded run into Chrome trace-event /
+// Perfetto JSON events. The run must have been executed with
+// Config.RecordTimeline set; each disk becomes one thread (tid) of a
+// single process named after the program and scheme. Every timeline
+// segment becomes a complete span carrying its RPM and power draw,
+// transition starts additionally emit instant power-op markers, and
+// per-disk RPM and power counters track the spindle over time.
+func ChromeTraceEvents(res *Result) ([]obs.TraceEvent, error) {
+	if res.Timelines == nil {
+		return nil, fmt.Errorf("sim: no timelines recorded; run with Config.RecordTimeline")
+	}
+	name := res.Program
+	if res.Scheme != "" {
+		name += "/" + res.Scheme
+	}
+	events := []obs.TraceEvent{{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": name},
+	}}
+	for d := range res.Timelines {
+		events = append(events, obs.TraceEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: d,
+			Args: map[string]any{"name": fmt.Sprintf("disk%d", d)},
+		})
+	}
+	for d, segs := range res.Timelines {
+		for _, sg := range segs {
+			label := sg.Stat.String()
+			if sg.Active {
+				label = "service"
+			} else if sg.Stat == StSpinning {
+				label = "idle"
+			}
+			ts, dur := sg.StartMS*1e3, (sg.EndMS-sg.StartMS)*1e3
+			events = append(events, obs.TraceEvent{
+				Name: label, Cat: "disk", Ph: "X", TS: ts, Dur: dur, Pid: 0, Tid: d,
+				Args: map[string]any{"rpm": sg.RPM, "power_w": sg.PowerW},
+			})
+			if !sg.Active {
+				// Transition segments mark where a power op took
+				// effect; surface them as instant events so they are
+				// findable in the Perfetto timeline.
+				switch sg.Stat {
+				case StDown:
+					events = append(events, opInstant("spin_down", ts, d, 0))
+				case StUp:
+					events = append(events, opInstant("spin_up", ts, d, sg.RPM))
+				case StShift:
+					events = append(events, opInstant("set_rpm", ts, d, sg.RPM))
+				}
+			}
+			events = append(events,
+				obs.TraceEvent{Name: fmt.Sprintf("disk%d rpm", d), Ph: "C", TS: ts, Pid: 0, Tid: d,
+					Args: map[string]any{"rpm": sg.RPM}},
+				obs.TraceEvent{Name: fmt.Sprintf("disk%d power_w", d), Ph: "C", TS: ts, Pid: 0, Tid: d,
+					Args: map[string]any{"w": sg.PowerW}},
+			)
+		}
+	}
+	return events, nil
+}
+
+func opInstant(name string, ts float64, d, rpm int) obs.TraceEvent {
+	ev := obs.TraceEvent{Name: name, Cat: "powerop", Ph: "i", TS: ts, Pid: 0, Tid: d, S: "t"}
+	if rpm > 0 {
+		ev.Args = map[string]any{"rpm": rpm}
+	}
+	return ev
+}
+
+// WriteChromeTrace writes the run's recorded timelines as a Chrome
+// trace-event JSON file that loads in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. See ChromeTraceEvents for the event model.
+func WriteChromeTrace(w io.Writer, res *Result) error {
+	events, err := ChromeTraceEvents(res)
+	if err != nil {
+		return err
+	}
+	return obs.WriteChromeTrace(w, events)
+}

@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"sdpm/internal/disk"
+	"sdpm/internal/obs"
 )
 
 // Status enumerates the per-disk power states.
@@ -152,6 +153,28 @@ type Machine struct {
 	headPos   []int64
 	// timeline recording (disabled by default).
 	recTimeline bool
+	// obs receives metric events when non-nil; the nil case costs one
+	// branch per emit point (see AttachCollector).
+	obs *obs.Collector
+}
+
+// obsState maps a power state (plus the active flag) onto the
+// collector's residency labels.
+func obsState(st Status, active bool) obs.DiskState {
+	switch {
+	case active:
+		return obs.StateService
+	case st == StStandby:
+		return obs.StateStandby
+	case st == StDown:
+		return obs.StateSpinDown
+	case st == StUp:
+		return obs.StateSpinUp
+	case st == StShift:
+		return obs.StateRPMShift
+	default:
+		return obs.StateIdle
+	}
 }
 
 // NewMachine returns a machine of n disks, all spinning at full speed
@@ -186,7 +209,7 @@ func (m *Machine) ReserveIdles(perDisk []int) {
 			break
 		}
 		c := perDisk[d] + 1
-		m.disks[d].idles = buf[off:off : off+c]
+		m.disks[d].idles = buf[off : off : off+c]
 		off += c
 	}
 }
@@ -244,6 +267,12 @@ func (m *Machine) AccountedTo(d int) float64 { return m.disks[d].accT }
 // returned by Timelines after Finish.
 func (m *Machine) EnableTimeline() { m.recTimeline = true }
 
+// AttachCollector streams metric events (residency, request
+// latencies, power ops, spin-up mispredictions) into c as the
+// machine runs. A nil c detaches. The caller should size c with
+// EnsureDisks first so the per-event paths never allocate.
+func (m *Machine) AttachCollector(c *obs.Collector) { m.obs = c }
+
 // Timelines returns the recorded per-disk timelines (nil per disk
 // unless EnableTimeline was called before simulation).
 func (m *Machine) Timelines() [][]Segment {
@@ -268,6 +297,9 @@ func (m *Machine) advance(d int, t float64) {
 			s.stats.IdleMS += dt
 			s.addResidency(&m.p, s.rpm, dt)
 			s.record(m.recTimeline, s.accT, t, StSpinning, s.rpm, pw, false)
+			if m.obs != nil {
+				m.obs.ObserveResidency(d, obs.StateIdle, s.rpm, dt)
+			}
 			s.accT = t
 		case StStandby:
 			dt := t - s.accT
@@ -275,6 +307,9 @@ func (m *Machine) advance(d int, t float64) {
 			s.stats.StandbyEnergyJ += m.p.StandbyW * dt / 1e3
 			s.stats.StandbyMS += dt
 			s.record(m.recTimeline, s.accT, t, StStandby, 0, m.p.StandbyW, false)
+			if m.obs != nil {
+				m.obs.ObserveResidency(d, obs.StateStandby, 0, dt)
+			}
 			s.accT = t
 		case StDown, StUp, StShift:
 			end := math.Min(t, s.statusUntil)
@@ -283,6 +318,9 @@ func (m *Machine) advance(d int, t float64) {
 			s.stats.TransitionEnergyJ += s.transPowerW * dt / 1e3
 			s.stats.TransitionMS += dt
 			s.record(m.recTimeline, s.accT, end, s.status, s.rpm, s.transPowerW, false)
+			if m.obs != nil {
+				m.obs.ObserveResidency(d, obsState(s.status, false), s.rpm, dt)
+			}
 			s.accT = end
 			if s.accT >= s.statusUntil {
 				switch s.status {
@@ -328,6 +366,9 @@ func (m *Machine) SpinDownAt(d int, t float64) {
 	s.statusUntil = eff + m.p.SpinDownMS
 	s.transPowerW = m.p.SpinDownJ / m.p.SpinDownMS * 1e3
 	s.stats.SpinDowns++
+	if m.obs != nil {
+		m.obs.CountPowerOp(obs.OpSpinDown)
+	}
 }
 
 // SpinUpAt initiates a TPM spin-up on disk d at time t. It is a
@@ -347,6 +388,9 @@ func (m *Machine) SpinUpAt(d int, t float64) {
 	s.statusUntil = eff + m.p.SpinUpMS
 	s.transPowerW = m.p.SpinUpJ / m.p.SpinUpMS * 1e3
 	s.stats.SpinUps++
+	if m.obs != nil {
+		m.obs.CountPowerOp(obs.OpSpinUp)
+	}
 }
 
 // SetRPMAt initiates an RPM modulation on disk d toward the given
@@ -372,6 +416,9 @@ func (m *Machine) SetRPMAt(d int, t float64, rpm int) {
 	s.statusUntil = eff + dur
 	s.transPowerW = m.p.TransitionEnergyJ(from, rpm) / dur * 1e3
 	s.stats.RPMShifts++
+	if m.obs != nil {
+		m.obs.CountPowerOp(obs.OpSetRPM)
+	}
 }
 
 // Service issues a request of the given size to disk d at time t. It
@@ -390,7 +437,9 @@ func (m *Machine) Service(d int, t float64, bytes int64) float64 {
 // block keeps the average-seek model for this request).
 func (m *Machine) ServiceBlock(d int, t float64, bytes, block int64) float64 {
 	s := &m.disks[d]
-	s.idles = append(s.idles, IdlePeriod{StartMS: s.idleFrom, LenMS: t - s.idleFrom})
+	idleLen := t - s.idleFrom
+	s.idles = append(s.idles, IdlePeriod{StartMS: s.idleFrom, LenMS: idleLen})
+	pre := s.status
 	start := m.effectiveAt(d, t)
 	if s.status == StStandby {
 		// On-demand spin-up: the request pays the full delay.
@@ -418,6 +467,23 @@ func (m *Machine) ServiceBlock(d int, t float64, bytes, block int64) float64 {
 	s.addResidency(&m.p, s.rpm, svc)
 	s.stats.Requests++
 	end := start + svc
+	if m.obs != nil {
+		m.obs.ObserveResidency(d, obs.StateService, s.rpm, svc)
+		m.obs.ObserveRequest(d, svc, start-t, idleLen)
+		if start > t {
+			// The request blocked on a spin-up: the paper's
+			// pre-activation failure mode. "inflight" means the
+			// spin-up was already underway (issued too late);
+			// "ondemand" means the disk was still in (or heading to)
+			// standby and the request paid the full delay.
+			switch pre {
+			case StUp:
+				m.obs.CountSpinupMiss(false)
+			case StStandby, StDown:
+				m.obs.CountSpinupMiss(true)
+			}
+		}
+	}
 	s.record(m.recTimeline, start, end, StSpinning, s.rpm, pw, true)
 	s.accT = end
 	s.idleFrom = end

@@ -57,6 +57,11 @@ func RunOpenLoop(tr *trace.Trace, cfg Config) (*Result, error) {
 	if cfg.RecordTimeline {
 		m.EnableTimeline()
 	}
+	if cfg.Obs != nil {
+		cfg.Obs.CountSimRun()
+		cfg.Obs.EnsureDisks(tr.NumDisks, cfg.Disk.MinRPM, cfg.Disk.RPMStep, cfg.Disk.NumLevels())
+		m.AttachCollector(cfg.Obs)
+	}
 	m.ReserveIdles(perDisk)
 	lastCompletion := make([]float64, tr.NumDisks)
 	end := 0.0
@@ -94,6 +99,8 @@ func RunOpenLoop(tr *trace.Trace, cfg Config) (*Result, error) {
 	}
 	if cfg.Policy != nil {
 		res.Scheme = cfg.Policy.Name() + "/open"
+	} else {
+		res.Scheme = "embedded/open"
 	}
 	for d := range stats {
 		res.EnergyJ += stats[d].EnergyJ

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sdpm/internal/disk"
+	"sdpm/internal/obs"
 	"sdpm/internal/trace"
 )
 
@@ -48,6 +49,11 @@ type Config struct {
 	// RecordTimeline collects per-disk state timelines into the
 	// result (Result.Timelines).
 	RecordTimeline bool
+	// Obs, when non-nil, receives metric events (request latencies,
+	// residency, power ops, spin-up mispredictions) as the run
+	// executes. A nil Obs adds no overhead beyond one branch per
+	// emit point; an attached collector allocates nothing per event.
+	Obs *obs.Collector
 }
 
 // DefaultPowerCallOverheadMS is the default power-management call
@@ -98,6 +104,11 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	}
 	if cfg.RecordTimeline {
 		m.EnableTimeline()
+	}
+	if cfg.Obs != nil {
+		cfg.Obs.CountSimRun()
+		cfg.Obs.EnsureDisks(tr.NumDisks, cfg.Disk.MinRPM, cfg.Disk.RPMStep, cfg.Disk.NumLevels())
+		m.AttachCollector(cfg.Obs)
 	}
 	// Size the per-disk idle-period lists exactly (one idle period per
 	// request plus the trailing one) so the event loop never grows
@@ -158,6 +169,11 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	}
 	if cfg.Policy != nil {
 		res.Scheme = cfg.Policy.Name()
+	} else {
+		// No policy means the trace's embedded power ops (if any)
+		// drove the disks; name the scheme so result tables and
+		// metric labels are never blank.
+		res.Scheme = "embedded"
 	}
 	for d := range stats {
 		res.EnergyJ += stats[d].EnergyJ

@@ -1,0 +1,65 @@
+// Command benchjson converts `go test -bench -benchmem` output on
+// stdin into a JSON document on stdout, keyed by benchmark name with
+// the GOMAXPROCS suffix stripped:
+//
+//	go test -bench=. -benchmem -run='^$' ./... | benchjson
+//
+//	{
+//	  "SimHotPath": {"ns_per_op": 4106932, "bytes_per_op": 27312, "allocs_per_op": 24},
+//	  ...
+//	}
+//
+// Lines that are not benchmark results (PASS/ok/warnings) are
+// ignored, so the raw `go test` stream pipes straight in. Used by
+// `make bench-json` to publish machine-readable baselines under
+// results/.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"sdpm/tools/benchjson/internal/benchparse"
+)
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out io.Writer) error {
+	results, err := benchparse.Parse(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Encode manually to keep the keys in sorted order with stable
+	// field layout.
+	bw := bufio.NewWriter(out)
+	fmt.Fprintln(bw, "{")
+	for i, name := range names {
+		r := results[name]
+		key, _ := json.Marshal(name)
+		sep := ","
+		if i == len(names)-1 {
+			sep = ""
+		}
+		fmt.Fprintf(bw, "  %s: {\"ns_per_op\": %s, \"bytes_per_op\": %d, \"allocs_per_op\": %d, \"iterations\": %d}%s\n",
+			key, benchparse.FormatNS(r.NSPerOp), r.BytesPerOp, r.AllocsPerOp, r.Iterations, sep)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
