@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short vet race bench bench-json experiments examples cover clean
+.PHONY: all check build test test-short vet race fuzz-smoke bench bench-json experiments examples cover clean
 
 all: check
 
@@ -24,10 +24,21 @@ vet:
 	$(GO) vet ./...
 
 # race runs the race detector where concurrency lives: the worker
-# pool, the memoizing instance cache, and the simulator packages the
-# parallel experiment engine drives.
+# pool (including cancellation), the memoizing instance cache, the
+# simulator, and the fault-injection plan shared across workers.
 race:
-	$(GO) test -race ./internal/runner ./internal/core ./internal/sim
+	$(GO) test -race ./internal/runner ./internal/core ./internal/sim ./internal/faults
+
+# fuzz-smoke gives each fuzz target a short budget — enough to shake
+# out parser and numeric regressions on every CI run without turning
+# the pipeline into a fuzzing campaign. Go allows one -fuzz pattern
+# per invocation, hence one line per target.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/dsl
+	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/faults
+	$(GO) test -run='^$$' -fuzz=FuzzBreakEven -fuzztime=$(FUZZTIME) ./internal/disk
 
 # bench records the root experiment benchmarks (including the
 # Sequential/Parallel suite pair) and the simulator hot-path

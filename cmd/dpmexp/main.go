@@ -18,11 +18,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"sdpm"
 	"sdpm/internal/cli"
@@ -34,6 +37,8 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines per experiment (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus text-format metrics to this file after the experiments (- for stderr)")
+	faultSpec := flag.String("faults", "", "fault-injection spec: preset (off/light/moderate/heavy), key=value list, or @file; empty = fault-free")
+	faultSeed := flag.Int64("fault-seed", 1, "fault schedule seed; the same seed reproduces the exact fault pattern at any -workers count")
 	verbose, quiet := cli.LogFlags(flag.CommandLine)
 	flag.Parse()
 	cli.SetupLogging("dpmexp", *verbose, *quiet)
@@ -44,7 +49,14 @@ func main() {
 		}
 		return
 	}
-	opts := sdpm.Options{Format: *format, Workers: *workers}
+	// SIGINT/SIGTERM cancel in-flight experiment cells; partial
+	// metrics are still flushed before the process exits non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opts := sdpm.Options{
+		Format: *format, Workers: *workers, Ctx: ctx,
+		FaultSpec: *faultSpec, FaultSeed: *faultSeed,
+	}
 	var metricsFile *os.File
 	if *metricsOut != "" {
 		// The tables own stdout; "-" routes the exposition to stderr.
@@ -59,13 +71,16 @@ func main() {
 		}
 		opts.Metrics = dst
 	}
-	if err := sdpm.RunExperiments(*run, os.Stdout, opts); err != nil {
-		cli.Fatal(err)
-	}
+	runErr := sdpm.RunExperiments(*run, os.Stdout, opts)
 	if metricsFile != nil {
-		if err := metricsFile.Close(); err != nil {
-			cli.Fatal(err)
+		// RunExperiments wrote (possibly partial) metrics even on
+		// failure or cancellation; always close the file.
+		if err := metricsFile.Close(); err != nil && runErr == nil {
+			runErr = err
 		}
 		slog.Debug("metrics written", "path", *metricsOut)
+	}
+	if runErr != nil {
+		cli.Fatal(runErr)
 	}
 }

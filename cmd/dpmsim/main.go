@@ -24,15 +24,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"sdpm/internal/cli"
 	"sdpm/internal/disk"
+	"sdpm/internal/faults"
 	"sdpm/internal/obs"
 	"sdpm/internal/policy"
 	"sdpm/internal/runner"
@@ -53,6 +57,8 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines for -policy all (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus text-format metrics to this file after the run (- for stdout; the report then moves to stderr)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event / Perfetto JSON timeline to this file (single-policy runs)")
+	faultSpec := flag.String("faults", "", "fault-injection spec: preset (off/light/moderate/heavy), key=value list, or @file; empty = fault-free")
+	faultSeed := flag.Int64("fault-seed", 1, "fault schedule seed; the same seed reproduces the exact fault pattern")
 	verbose, quiet := cli.LogFlags(flag.CommandLine)
 	flag.Parse()
 	cli.SetupLogging("dpmsim", *verbose, *quiet)
@@ -96,12 +102,32 @@ func main() {
 		RecordTimeline:      *timeline > 0 || *traceOut != "",
 		Obs:                 coll,
 	}
+	if *faultSpec != "" {
+		fc, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		if fc.Enabled() {
+			plan, err := faults.New(*faultSeed, tr.NumDisks, fc)
+			if err != nil {
+				cli.Fatal(err)
+			}
+			baseCfg.Faults = plan
+			slog.Debug("faults armed", "spec", faults.FormatSpec(fc), "seed", *faultSeed)
+		}
+	}
+
+	// SIGINT/SIGTERM cancel in-flight comparison runs; metrics
+	// accumulated so far are still flushed before the non-zero exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if strings.EqualFold(*pol, "all") {
 		if *traceOut != "" {
 			slog.Warn("-trace-out applies to single-policy runs; ignoring it with -policy all")
 		}
-		if err := runAll(report, tr, baseCfg, *openLoop, *workers, coll); err != nil {
+		if err := runAll(ctx, report, tr, baseCfg, *openLoop, *workers, coll); err != nil {
+			writeMetrics(*metricsOut, coll)
 			cli.Fatal(err)
 		}
 		writeMetrics(*metricsOut, coll)
@@ -115,6 +141,7 @@ func main() {
 	}
 	res, err := runOnce(tr, cfg, *openLoop)
 	if err != nil {
+		writeMetrics(*metricsOut, coll)
 		cli.Fatal(err)
 	}
 	slog.Debug("run complete", "policy", *pol, "energy_j", res.EnergyJ, "exec_ms", res.ExecMS)
@@ -128,6 +155,23 @@ func main() {
 	fmt.Fprintf(report, "exec time    %.2f ms\n", res.ExecMS)
 	fmt.Fprintf(report, "wait time    %.2f ms\n", res.TotalWaitMS)
 	fmt.Fprintf(report, "avg power    %.2f W\n", res.EnergyJ/res.ExecMS*1e3)
+	if baseCfg.Faults != nil {
+		var fails, retries, timeouts, fallbacks, remaps, degraded int
+		var extraMS float64
+		for _, st := range res.Disks {
+			fails += st.SpinUpFailures
+			retries += st.SpinUpRetries
+			timeouts += st.SpinUpTimeouts
+			fallbacks += st.Fallbacks
+			remaps += st.RemapHits
+			degraded += st.DegradedHits
+			extraMS += st.DegradedExtraMS
+		}
+		fmt.Fprintf(report, "faults       %d spin-up failures, %d retries, %d timeouts, %d fallbacks\n",
+			fails, retries, timeouts, fallbacks)
+		fmt.Fprintf(report, "             %d remap hits, %d degraded services (+%.2f ms transfer)\n",
+			remaps, degraded, extraMS)
+	}
 	if *timeline > 0 {
 		for d, segs := range res.Timelines {
 			fmt.Fprintf(report, "disk%d timeline (%d segments):\n", d, len(segs))
@@ -238,9 +282,9 @@ func runOnce(tr *trace.Trace, cfg sim.Config, openLoop bool) (*sim.Result, error
 // comparison table in canonical order (identical for any worker
 // count). All runs report into the shared collector when metrics are
 // requested.
-func runAll(report io.Writer, tr *trace.Trace, baseCfg sim.Config, openLoop bool, workers int, coll *obs.Collector) error {
+func runAll(ctx context.Context, report io.Writer, tr *trace.Trace, baseCfg sim.Config, openLoop bool, workers int, coll *obs.Collector) error {
 	results := make([]*sim.Result, len(allPolicies))
-	err := runner.New(workers).Observe(coll).Map(len(allPolicies), func(i int) error {
+	err := runner.New(workers).Observe(coll).WithContext(ctx).Map(len(allPolicies), func(i int) error {
 		cfg := baseCfg
 		cfg.RecordTimeline = false
 		var err error

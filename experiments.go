@@ -1,12 +1,14 @@
 package sdpm
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
 	"sort"
 
 	"sdpm/internal/experiments"
+	"sdpm/internal/faults"
 	"sdpm/internal/obs"
 	"sdpm/internal/stats"
 )
@@ -20,6 +22,7 @@ func ExperimentIDs() []string {
 		"applicability", "ext-interchange", "ext-multiprogram",
 		"ablation-preactivation", "ablation-noise", "ablation-cache", "ablation-clustering",
 		"ablation-openloop", "ablation-seek", "breakdown",
+		"faults-energy", "faults-time",
 	}
 }
 
@@ -35,9 +38,24 @@ type Options struct {
 	// Metrics, when non-nil, receives a Prometheus text-format dump
 	// of the engine's observability metrics (simulation counters and
 	// latency histograms, per-disk residency, instance-cache
-	// hit/miss/singleflight counts, worker-pool utilization) after
-	// the experiments complete.
+	// hit/miss/singleflight counts, worker-pool utilization, injected
+	// faults) after the experiments complete — or after cancellation,
+	// when partial metrics are still flushed.
 	Metrics io.Writer
+	// Ctx, when non-nil, cancels in-flight experiments: worker pools
+	// stop claiming cells, the current experiment returns the
+	// context's error, and metrics accumulated so far are still
+	// written to Metrics.
+	Ctx context.Context
+	// FaultSpec injects deterministic faults into every experiment's
+	// simulations: a preset name (off/light/moderate/heavy), a
+	// key=value spec, or "@file" (see faults.ParseSpec). Empty keeps
+	// the paper's fault-free setting. The faults-energy/faults-time
+	// experiments sweep all severities regardless of this base.
+	FaultSpec string
+	// FaultSeed seeds the fault-sensitivity experiments' fault plans;
+	// the same seed yields byte-identical tables at any worker count.
+	FaultSeed int64
 }
 
 // RunExperiment regenerates one of the paper's tables or figures (or
@@ -68,22 +86,45 @@ func RunExperiments(id string, out io.Writer, opts Options) error {
 	}
 	s := experiments.NewSuite()
 	s.Workers = opts.Workers
+	s.Ctx = opts.Ctx
+	if opts.FaultSpec != "" {
+		fc, err := faults.ParseSpec(opts.FaultSpec)
+		if err != nil {
+			return err
+		}
+		s.Cfg.Faults = fc
+		s.Cfg.FaultSeed = opts.FaultSeed
+	}
+	s.FaultSeed = opts.FaultSeed
 	if opts.Metrics != nil {
 		s.Obs = obs.New()
 	}
-	if id == "all" {
-		for _, e := range ExperimentIDs() {
-			if err := runOne(s, e, out, format); err != nil {
-				return err
-			}
-			fmt.Fprintln(out)
+	// Run, then flush metrics regardless of failure or cancellation:
+	// a partial Prometheus dump still tells the operator what happened
+	// before the interrupt.
+	err := runSelected(s, id, out, format, opts.Ctx)
+	if merr := writeMetrics(opts.Metrics, s.Obs); err == nil {
+		err = merr
+	}
+	return err
+}
+
+// runSelected runs one experiment id, or every experiment for "all",
+// stopping between experiments once ctx is canceled.
+func runSelected(s *experiments.Suite, id string, out io.Writer, format string, ctx context.Context) error {
+	if id != "all" {
+		return runOne(s, id, out, format)
+	}
+	for _, e := range ExperimentIDs() {
+		if ctx != nil && ctx.Err() != nil {
+			return ctx.Err()
 		}
-		return writeMetrics(opts.Metrics, s.Obs)
+		if err := runOne(s, e, out, format); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
 	}
-	if err := runOne(s, id, out, format); err != nil {
-		return err
-	}
-	return writeMetrics(opts.Metrics, s.Obs)
+	return nil
 }
 
 // writeMetrics dumps the suite collector in Prometheus text format.
@@ -171,6 +212,12 @@ func buildArtifact(s *experiments.Suite, id string) (string, *stats.Table, error
 		return one(s.AblationSeekModel())
 	case "breakdown":
 		return one(s.EnergyBreakdown())
+	case "faults-energy":
+		a, b, err := s.FaultImpact("swim", s.FaultSeed)
+		return pair(a, b, err, true)
+	case "faults-time":
+		a, b, err := s.FaultImpact("swim", s.FaultSeed)
+		return pair(a, b, err, false)
 	default:
 		ids := append([]string{"all"}, ExperimentIDs()...)
 		sort.Strings(ids)

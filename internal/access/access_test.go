@@ -51,7 +51,7 @@ func bruteTouches(t *testing.T, p *ir.Program, sub *layout.Subsystem) []Touch {
 
 func placeAll(t *testing.T, p *ir.Program, nd int, unit int64, factor int) *layout.Subsystem {
 	t.Helper()
-	sub := layout.NewSubsystem(nd)
+	sub := layout.MustSubsystem(nd)
 	if err := PlaceArrays(p, sub, layout.Striping{StartDisk: 0, Factor: factor, UnitBytes: unit}); err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +257,7 @@ func TestWalkUnplacedArray(t *testing.T) {
 	u := b.Array1D("u", 16)
 	b.Nest("n0", ir.L("i", 16)).Stmt(1, ir.R(u, ir.Var(0)))
 	p := b.MustBuild()
-	sub := layout.NewSubsystem(2)
+	sub := layout.MustSubsystem(2)
 	if _, err := Touches(p, sub); err == nil {
 		t.Fatal("unplaced array accepted")
 	}

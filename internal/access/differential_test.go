@@ -17,7 +17,7 @@ func TestWalkerMatchesBruteForceGenerated(t *testing.T) {
 	rng := rand.New(rand.NewSource(909))
 	for trial := 0; trial < 120; trial++ {
 		p := progen.Generate(rng, progen.DefaultOptions())
-		sub := layout.NewSubsystem(1 + rng.Intn(6))
+		sub := layout.MustSubsystem(1 + rng.Intn(6))
 		factor := 1 + rng.Intn(sub.NumDisks())
 		unit := int64(512 * (1 + rng.Intn(4)))
 		ok := true

@@ -13,6 +13,7 @@ import (
 	"sdpm/internal/cycles"
 	"sdpm/internal/dap"
 	"sdpm/internal/disk"
+	"sdpm/internal/faults"
 	"sdpm/internal/insert"
 	"sdpm/internal/ir"
 	"sdpm/internal/layout"
@@ -92,6 +93,13 @@ type Config struct {
 	// DistanceAwareSeek replaces the average-seek model with the
 	// square-root seek curve over actual head movement.
 	DistanceAwareSeek bool
+	// Faults configures deterministic fault injection (spin-up
+	// failures, bad-sector remaps, degradation windows); the zero
+	// value injects nothing.
+	Faults faults.Config
+	// FaultSeed seeds the fault plan; the same seed always yields the
+	// same fault schedule, at any worker count.
+	FaultSeed int64
 }
 
 // DefaultConfig returns the Table 1 configuration.
@@ -119,10 +127,11 @@ func (c *Config) model() *cycles.Model {
 // memoization key used by Cache.
 func (c *Config) Fingerprint() string {
 	m := c.model()
-	return fmt.Sprintf("disk{%+v} nd=%d unit=%d cache=%d model{%g,%g,%g,%d} tm=%g nopre=%t nocache=%t distseek=%t",
+	return fmt.Sprintf("disk{%+v} nd=%d unit=%d cache=%d model{%g,%g,%g,%d} tm=%g nopre=%t nocache=%t distseek=%t faults{%s seed=%d}",
 		c.Disk, c.NumDisks, c.UnitBytes, c.CacheUnits,
 		m.ClockHz, m.NoisePct, m.BiasPct, m.Seed,
-		c.PowerCallOverheadMS, c.DisablePreactivation, c.NoCache, c.DistanceAwareSeek)
+		c.PowerCallOverheadMS, c.DisablePreactivation, c.NoCache, c.DistanceAwareSeek,
+		faults.FormatSpec(c.Faults), c.FaultSeed)
 }
 
 // Validate checks the configuration.
@@ -136,7 +145,19 @@ func (c *Config) Validate() error {
 	if c.UnitBytes <= 0 || c.UnitBytes%layout.BlockSize != 0 {
 		return fmt.Errorf("core: bad stripe unit %d", c.UnitBytes)
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// faultPlan derives the configuration's fault plan (nil when fault
+// injection is disabled).
+func (c *Config) faultPlan() (*faults.Plan, error) {
+	if !c.Faults.Enabled() {
+		return nil, nil
+	}
+	return faults.New(c.FaultSeed, c.NumDisks, c.Faults)
 }
 
 // Instance is a program prepared on a disk subsystem: placed,
@@ -160,6 +181,10 @@ type Instance struct {
 	// not change them.
 	Obs *obs.Collector
 
+	// faultPlan is the derived fault schedule (nil when injection is
+	// disabled); it is immutable and shared by every run.
+	faultPlan *faults.Plan
+
 	mu        sync.Mutex // guards the lazy caches below
 	baseTrace *trace.Trace
 	instr     map[insert.Mode]*instrumented
@@ -180,7 +205,14 @@ func Prepare(name string, p *ir.Program, cfg Config, overrides map[string]layout
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	sub := layout.NewSubsystem(cfg.NumDisks)
+	sub, err := layout.NewSubsystem(cfg.NumDisks)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := cfg.faultPlan()
+	if err != nil {
+		return nil, err
+	}
 	for i, a := range p.Arrays {
 		st := layout.Striping{StartDisk: i % cfg.NumDisks, Factor: cfg.NumDisks, UnitBytes: cfg.UnitBytes}
 		if o, ok := overrides[a.Name]; ok {
@@ -191,7 +223,6 @@ func Prepare(name string, p *ir.Program, cfg Config, overrides map[string]layout
 		}
 	}
 	var sites []tracegen.Site
-	var err error
 	if cfg.NoCache {
 		sites, err = tracegen.SitesNoCache(p, sub)
 	} else {
@@ -202,7 +233,8 @@ func Prepare(name string, p *ir.Program, cfg Config, overrides map[string]layout
 	}
 	return &Instance{
 		Name: name, Program: p, Sub: sub, Sites: sites, Cfg: cfg,
-		instr: make(map[insert.Mode]*instrumented),
+		faultPlan: plan,
+		instr:     make(map[insert.Mode]*instrumented),
 	}, nil
 }
 
@@ -249,6 +281,7 @@ func (in *Instance) Run(s Scheme) (*sim.Result, error) {
 		PowerCallOverheadMS: in.Cfg.PowerCallOverheadMS,
 		DistanceAwareSeek:   in.Cfg.DistanceAwareSeek,
 		Obs:                 in.Obs,
+		Faults:              in.faultPlan,
 	}
 	tr := in.BaseTrace()
 	switch s {
@@ -293,6 +326,7 @@ func (in *Instance) RunOpen(s Scheme) (*sim.Result, error) {
 		Disk:              in.Cfg.Disk,
 		DistanceAwareSeek: in.Cfg.DistanceAwareSeek,
 		Obs:               in.Obs,
+		Faults:            in.faultPlan,
 	}
 	switch s {
 	case Base:

@@ -112,8 +112,37 @@ func DefaultParams() Params {
 	}
 }
 
-// Validate checks parameter sanity.
+// Validate checks parameter sanity. Every float field must be finite:
+// a NaN would slip through ordered comparisons (NaN < x is always
+// false) and silently poison energy totals downstream.
 func (p Params) Validate() error {
+	for _, f := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"CapacityGB", p.CapacityGB},
+		{"AvgSeekMS", p.AvgSeekMS},
+		{"SeekMinMS", p.SeekMinMS},
+		{"SeekMaxMS", p.SeekMaxMS},
+		{"AvgRotMS", p.AvgRotMS},
+		{"TransferMBps", p.TransferMBps},
+		{"ActiveW", p.ActiveW},
+		{"IdleW", p.IdleW},
+		{"StandbyW", p.StandbyW},
+		{"SpinDownJ", p.SpinDownJ},
+		{"SpinDownMS", p.SpinDownMS},
+		{"SpinUpJ", p.SpinUpJ},
+		{"SpinUpMS", p.SpinUpMS},
+		{"RPMStepTimeMS", p.RPMStepTimeMS},
+		{"LowerTolerancePct", p.LowerTolerancePct},
+		{"UpperTolerancePct", p.UpperTolerancePct},
+		{"ElectronicsW", p.ElectronicsW},
+		{"SpindleExp", p.SpindleExp},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("disk: %s is %v, must be finite", f.name, f.v)
+		}
+	}
 	switch {
 	case p.MaxRPM <= 0 || p.MinRPM <= 0 || p.MinRPM > p.MaxRPM:
 		return fmt.Errorf("disk: bad RPM range [%d,%d]", p.MinRPM, p.MaxRPM)
@@ -203,8 +232,15 @@ func (p Params) ServiceTimeMS(rpm int, bytes int64) float64 {
 func (p Params) ServiceTimeSeekMS(rpm int, bytes int64, seekMS float64) float64 {
 	frac := float64(rpm) / float64(p.MaxRPM)
 	rot := p.AvgRotMS / frac
-	xferMS := float64(bytes) / (p.TransferMBps * 1e6 * frac) * 1e3
-	return seekMS + rot + xferMS
+	return seekMS + rot + p.TransferTimeMS(rpm, bytes)
+}
+
+// TransferTimeMS returns the media-transfer component of a request's
+// service time: the transfer rate scales linearly with rotation
+// speed.
+func (p Params) TransferTimeMS(rpm int, bytes int64) float64 {
+	frac := float64(rpm) / float64(p.MaxRPM)
+	return float64(bytes) / (p.TransferMBps * 1e6 * frac) * 1e3
 }
 
 // SeekTimeMS returns the distance-dependent seek time for a head

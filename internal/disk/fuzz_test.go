@@ -1,0 +1,64 @@
+package disk
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzBreakEven drives the idle-energy decision math with arbitrary
+// parameter combinations: any Params that Validate accepts must yield
+// panic-free, NaN-free break-even and idle-energy figures, since the
+// policies consume them without further checks.
+func FuzzBreakEven(f *testing.F) {
+	d := DefaultParams()
+	f.Add(d.MaxRPM, d.MinRPM, d.RPMStep, d.AvgSeekMS, d.AvgRotMS, d.TransferMBps,
+		d.ActiveW, d.IdleW, d.StandbyW, d.SpinDownJ, d.SpinDownMS, d.SpinUpJ, d.SpinUpMS)
+	f.Add(6000, 3000, 3000, 1.0, 1.0, 10.0, 5.0, 4.0, 4.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(15000, 15000, 1200, 0.0, 0.1, 0.5, 20.0, 1.0, 0.0, 1e6, 1e6, 1e6, 1e6)
+	f.Add(15000, 3000, 1200, 3.4, 2.0, 55.0, 13.5, 10.2, 2.5, 13.0, 1500.0, math.Inf(1), 10900.0)
+	f.Fuzz(func(t *testing.T, maxRPM, minRPM, step int,
+		avgSeek, avgRot, transfer, activeW, idleW, standbyW,
+		spinDownJ, spinDownMS, spinUpJ, spinUpMS float64) {
+		p := DefaultParams()
+		p.MaxRPM, p.MinRPM, p.RPMStep = maxRPM, minRPM, step
+		p.AvgSeekMS, p.AvgRotMS, p.TransferMBps = avgSeek, avgRot, transfer
+		p.ActiveW, p.IdleW, p.StandbyW = activeW, idleW, standbyW
+		p.SpinDownJ, p.SpinDownMS, p.SpinUpJ, p.SpinUpMS = spinDownJ, spinDownMS, spinUpJ, spinUpMS
+		if p.ElectronicsW >= p.IdleW {
+			p.ElectronicsW = 0
+		}
+		if p.Validate() != nil {
+			return
+		}
+		if p.NumLevels() > 1024 {
+			t.Skip("level grid too large to sweep")
+		}
+		be := p.TPMBreakEvenMS()
+		if math.IsNaN(be) || be < 0 {
+			t.Fatalf("TPMBreakEvenMS = %v for %+v", be, p)
+		}
+		for _, idle := range []float64{0, 1, p.SpinDownMS + p.SpinUpMS, be, 2 * be, 1e7} {
+			if math.IsInf(idle, 0) {
+				continue
+			}
+			if e := p.IdleEnergyJ(idle); math.IsNaN(e) || e < 0 {
+				t.Fatalf("IdleEnergyJ(%g) = %v", idle, e)
+			}
+			if e := p.StandbyEnergyJ(idle); math.IsNaN(e) {
+				t.Fatalf("StandbyEnergyJ(%g) = NaN", idle)
+			}
+			rpm, e := p.BestRPMForIdle(idle)
+			if math.IsNaN(e) || p.LevelIndex(rpm) < 0 {
+				t.Fatalf("BestRPMForIdle(%g) = (%d, %v)", idle, rpm, e)
+			}
+			rpm, e = p.BestRPMForTrailingIdle(idle)
+			if math.IsNaN(e) || p.LevelIndex(rpm) < 0 {
+				t.Fatalf("BestRPMForTrailingIdle(%g) = (%d, %v)", idle, rpm, e)
+			}
+			p.TrailingStandbyWins(idle)
+		}
+		if svc := p.ServiceTimeMS(p.MaxRPM, 65536); math.IsNaN(svc) || svc < 0 {
+			t.Fatalf("ServiceTimeMS = %v", svc)
+		}
+	})
+}

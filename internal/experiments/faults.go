@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"sdpm/internal/core"
+	"sdpm/internal/faults"
+	"sdpm/internal/stats"
+	"sdpm/internal/workloads"
+)
+
+// FaultImpact runs every scheme on one benchmark at the named fault
+// severities (off/light/moderate/heavy) and returns the energy and
+// execution-time tables, both normalized to the fault-free Base run —
+// so a cell reads directly as "this scheme under these faults, versus
+// doing nothing on a healthy array". The benchmark runs in its LF+DL
+// transformed version, where the compiler actually inserts spin-down/
+// spin-up calls, so the sweep stresses all three fault models: spin-up
+// failures stretch every pre-activated wake-up, bad sectors tax the
+// seeks, and degradation windows invalidate the idle-window estimates
+// behind the paper's fault-free savings.
+//
+// The fault schedule is derived from (seed, nDisks, severity) only,
+// so one seed produces byte-identical tables at any worker count.
+func (s *Suite) FaultImpact(benchName string, seed int64) (*stats.Table, *stats.Table, error) {
+	b, err := workloads.ByName(benchName)
+	if err != nil {
+		return nil, nil, err
+	}
+	severities := faults.PresetNames()
+	schemes := core.AllSchemes()
+	cols := make([]string, 0, len(schemes))
+	for _, sc := range schemes {
+		cols = append(cols, string(sc))
+	}
+	energy := &stats.Table{
+		Title:     "Fault impact: normalized energy (" + b.Name + " LF+DL, vs fault-free Base)",
+		Columns:   cols,
+		Precision: 3,
+	}
+	times := &stats.Table{
+		Title:     "Fault impact: normalized execution time (" + b.Name + " LF+DL, vs fault-free Base)",
+		Columns:   cols,
+		Precision: 3,
+	}
+	type cell struct{ energy, exec float64 }
+	ns := len(schemes)
+	cells := make([]cell, len(severities)*ns)
+	err = s.pool().Map(len(cells), func(i int) error {
+		severity, sc := severities[i/ns], schemes[i%ns]
+		cfg := s.configFor(b)
+		cfg.Faults, _ = faults.Preset(severity)
+		cfg.FaultSeed = seed
+		in, _, err := s.memo().PrepareVersion(b.Name, b.Program, core.VLFDL, cfg)
+		if err != nil {
+			return err
+		}
+		res, err := in.Run(sc)
+		if err != nil {
+			return err
+		}
+		cells[i] = cell{res.EnergyJ, res.ExecMS}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Normalize every cell to the fault-free Base run (severity row 0,
+	// scheme column 0).
+	ref := cells[0]
+	for si, severity := range severities {
+		evals := make([]float64, 0, ns)
+		tvals := make([]float64, 0, ns)
+		for ci := range schemes {
+			c := cells[si*ns+ci]
+			evals = append(evals, c.energy/ref.energy)
+			tvals = append(tvals, c.exec/ref.exec)
+		}
+		energy.Add(severity, evals...)
+		times.Add(severity, tvals...)
+	}
+	return energy, times, nil
+}

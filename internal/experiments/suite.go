@@ -17,6 +17,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -50,6 +51,14 @@ type Suite struct {
 	// it. Set it before the first experiment; render with
 	// obs.WritePrometheus.
 	Obs *obs.Collector
+	// Ctx, when non-nil, cancels in-flight experiments: worker pools
+	// stop claiming cells and the running experiment returns the
+	// context's error. Results produced before cancellation remain
+	// valid (partial metrics can still be flushed).
+	Ctx context.Context
+	// FaultSeed seeds the fault-sensitivity experiments (FaultImpact);
+	// the base configuration's own fault knobs live in Cfg.Faults.
+	FaultSeed int64
 
 	cacheOnce sync.Once
 	cache     *core.Cache
@@ -73,10 +82,11 @@ func (s *Suite) memo() *core.Cache {
 	return s.cache
 }
 
-// pool returns a worker pool honoring s.Workers. Experiments run one
-// at a time, so a fresh pool per experiment keeps the global bound.
+// pool returns a worker pool honoring s.Workers and s.Ctx.
+// Experiments run one at a time, so a fresh pool per experiment keeps
+// the global bound.
 func (s *Suite) pool() *runner.Pool {
-	return runner.New(s.Workers).Observe(s.Obs)
+	return runner.New(s.Workers).Observe(s.Obs).WithContext(s.Ctx)
 }
 
 // configFor specializes the suite configuration for one benchmark.

@@ -1,0 +1,47 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec checks the spec parser never panics and that every
+// accepted spec round-trips through its canonical rendering: parsing
+// FormatSpec's output must reproduce the exact configuration.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("")
+	f.Add("off")
+	f.Add("light")
+	f.Add("heavy")
+	f.Add("spinup=0.1,retries=3,backoff=500,timeout=40000")
+	f.Add("badfrac=1e-4 remap=4")
+	f.Add("degraded=0.05, period=30000, duration=5000, slowdown=2")
+	f.Add("spinup=1 retries=0")
+	f.Add("# comment\nspinup=0.5\n")
+	f.Add("spinup=nan")
+	f.Add("slowdown=0.5")
+	f.Add("warp=9")
+	f.Fuzz(func(t *testing.T, spec string) {
+		// "@path" specs read files; the parser's file handling is
+		// covered by unit tests, and fuzzing arbitrary paths would
+		// leave the input domain of the grammar under test.
+		if strings.HasPrefix(strings.TrimSpace(spec), "@") {
+			t.Skip()
+		}
+		c, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("accepted spec %q fails validation: %v", spec, verr)
+		}
+		canonical := FormatSpec(c)
+		c2, err := ParseSpec(canonical)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canonical, spec, err)
+		}
+		if c != c2 {
+			t.Fatalf("round trip changed config: %q -> %+v, %q -> %+v", spec, c, canonical, c2)
+		}
+	})
+}

@@ -82,11 +82,22 @@ type Subsystem struct {
 	order    []string
 }
 
+// SubsystemSizeError reports an invalid disk count passed to
+// NewSubsystem.
+type SubsystemSizeError struct {
+	NumDisks int
+}
+
+func (e *SubsystemSizeError) Error() string {
+	return fmt.Sprintf("layout: subsystem needs at least one disk, got %d", e.NumDisks)
+}
+
 // NewSubsystem returns an empty subsystem with the given number of
-// disks (I/O nodes).
-func NewSubsystem(numDisks int) *Subsystem {
+// disks (I/O nodes). A non-positive disk count yields a
+// *SubsystemSizeError.
+func NewSubsystem(numDisks int) (*Subsystem, error) {
 	if numDisks <= 0 {
-		panic("layout: subsystem needs at least one disk")
+		return nil, &SubsystemSizeError{NumDisks: numDisks}
 	}
 	return &Subsystem{
 		numDisks:  numDisks,
@@ -94,7 +105,17 @@ func NewSubsystem(numDisks int) *Subsystem {
 		sizes:     make(map[string]int64),
 		base:      make(map[string][]int64),
 		nextFree:  make([]int64, numDisks),
+	}, nil
+}
+
+// MustSubsystem is NewSubsystem for statically valid disk counts
+// (tests, example setup); it panics on error.
+func MustSubsystem(numDisks int) *Subsystem {
+	s, err := NewSubsystem(numDisks)
+	if err != nil {
+		panic(err)
 	}
+	return s
 }
 
 // NumDisks returns the number of disks in the subsystem.

@@ -1,10 +1,37 @@
 package layout
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
 )
+
+// TestNewSubsystemRejectsBadSize: a non-positive disk count yields a
+// typed error (it used to panic in the constructor).
+func TestNewSubsystemRejectsBadSize(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		s, err := NewSubsystem(n)
+		var sse *SubsystemSizeError
+		if !errors.As(err, &sse) || s != nil {
+			t.Errorf("NewSubsystem(%d) = (%v, %v), want *SubsystemSizeError", n, s, err)
+			continue
+		}
+		if sse.NumDisks != n {
+			t.Errorf("error carries %d, want %d", sse.NumDisks, n)
+		}
+	}
+	if s, err := NewSubsystem(4); err != nil || s == nil {
+		t.Fatalf("NewSubsystem(4) = (%v, %v)", s, err)
+	}
+	// MustSubsystem panics on the same input.
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSubsystem(0) did not panic")
+		}
+	}()
+	MustSubsystem(0)
+}
 
 func TestStripingValidate(t *testing.T) {
 	good := Striping{StartDisk: 0, Factor: 8, UnitBytes: 64 * 1024}
@@ -48,7 +75,7 @@ func TestDiskOfUnitRoundRobin(t *testing.T) {
 }
 
 func TestPlaceAndMapSingleDisk(t *testing.T) {
-	s := NewSubsystem(4)
+	s := MustSubsystem(4)
 	st := Striping{StartDisk: 1, Factor: 1, UnitBytes: 1024}
 	if err := s.Place("f", 4096, st); err != nil {
 		t.Fatal(err)
@@ -66,7 +93,7 @@ func TestPlaceAndMapSingleDisk(t *testing.T) {
 }
 
 func TestMapStripedRange(t *testing.T) {
-	s := NewSubsystem(4)
+	s := MustSubsystem(4)
 	st := Striping{StartDisk: 0, Factor: 4, UnitBytes: 1024}
 	if err := s.Place("f", 8192, st); err != nil {
 		t.Fatal(err)
@@ -94,7 +121,7 @@ func TestMapStripedRange(t *testing.T) {
 }
 
 func TestMapPartialUnitAndMerge(t *testing.T) {
-	s := NewSubsystem(2)
+	s := MustSubsystem(2)
 	st := Striping{StartDisk: 0, Factor: 1, UnitBytes: 1024}
 	if err := s.Place("f", 10240, st); err != nil {
 		t.Fatal(err)
@@ -110,7 +137,7 @@ func TestMapPartialUnitAndMerge(t *testing.T) {
 }
 
 func TestTwoFilesDoNotOverlap(t *testing.T) {
-	s := NewSubsystem(4)
+	s := MustSubsystem(4)
 	st := Striping{StartDisk: 0, Factor: 4, UnitBytes: 1024}
 	if err := s.Place("a", 8192, st); err != nil {
 		t.Fatal(err)
@@ -139,7 +166,7 @@ func TestTwoFilesDoNotOverlap(t *testing.T) {
 }
 
 func TestPlaceErrors(t *testing.T) {
-	s := NewSubsystem(2)
+	s := MustSubsystem(2)
 	st := Striping{StartDisk: 0, Factor: 2, UnitBytes: 1024}
 	if err := s.Place("f", 2048, st); err != nil {
 		t.Fatal(err)
@@ -156,7 +183,7 @@ func TestPlaceErrors(t *testing.T) {
 }
 
 func TestMapErrors(t *testing.T) {
-	s := NewSubsystem(2)
+	s := MustSubsystem(2)
 	st := Striping{StartDisk: 0, Factor: 2, UnitBytes: 1024}
 	if err := s.Place("f", 2048, st); err != nil {
 		t.Fatal(err)
@@ -188,7 +215,7 @@ func TestMapErrors(t *testing.T) {
 }
 
 func TestMapUnitAgreesWithMap(t *testing.T) {
-	s := NewSubsystem(8)
+	s := MustSubsystem(8)
 	st := Striping{StartDisk: 3, Factor: 5, UnitBytes: 2048}
 	size := int64(2048*37 + 500) // ragged tail
 	if err := s.Place("f", size, st); err != nil {
@@ -220,7 +247,7 @@ func TestDiskOfMatchesMap(t *testing.T) {
 		nd := 8
 		sd := int(startDisk) % nd
 		fc := int(factor)%nd + 1
-		s := NewSubsystem(nd)
+		s := MustSubsystem(nd)
 		st := Striping{StartDisk: sd, Factor: fc, UnitBytes: 1024}
 		size := int64(64 * 1024)
 		if err := s.Place("f", size, st); err != nil {
@@ -246,7 +273,7 @@ func TestMapCoversRangeExactly(t *testing.T) {
 	// Property: the extents of any range sum to the range length and
 	// successive stripe rows on a disk are contiguous blocks.
 	rng := rand.New(rand.NewSource(7))
-	s := NewSubsystem(6)
+	s := MustSubsystem(6)
 	st := Striping{StartDisk: 2, Factor: 4, UnitBytes: 4096}
 	size := int64(1 << 20)
 	if err := s.Place("f", size, st); err != nil {
@@ -273,7 +300,7 @@ func TestMapCoversRangeExactly(t *testing.T) {
 }
 
 func TestSizeStripingAccessors(t *testing.T) {
-	s := NewSubsystem(4)
+	s := MustSubsystem(4)
 	st := Striping{StartDisk: 1, Factor: 2, UnitBytes: 1024}
 	if err := s.Place("f", 5000, st); err != nil {
 		t.Fatal(err)

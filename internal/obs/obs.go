@@ -128,6 +128,45 @@ func (k PowerOpKind) String() string {
 	}
 }
 
+// FaultKind labels injected-fault events (see internal/faults).
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	// FaultSpinUpFail is one failed spin-up attempt.
+	FaultSpinUpFail FaultKind = iota
+	// FaultRetry is one spin-up retry (backoff taken after a failure).
+	FaultRetry
+	// FaultTimeout is a spin-up call abandoned at its timeout cap.
+	FaultTimeout
+	// FaultFallback is a request served on demand because an earlier
+	// pre-activation gave up.
+	FaultFallback
+	// FaultRemap is a request that hit a remapped bad sector.
+	FaultRemap
+	// FaultDegraded is a request serviced inside a degradation window.
+	FaultDegraded
+	numFaultKinds
+)
+
+// String returns the Prometheus label value of the kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultSpinUpFail:
+		return "spinup_fail"
+	case FaultRetry:
+		return "spinup_retry"
+	case FaultTimeout:
+		return "spinup_timeout"
+	case FaultFallback:
+		return "ondemand_fallback"
+	case FaultRemap:
+		return "remap_hit"
+	default:
+		return "degraded_service"
+	}
+}
+
 // diskMetrics holds one disk's accumulators. The RPM residency grid
 // is fixed at creation (EnsureDisks) from the disk model's level
 // parameters; residency at an RPM outside the grid lands in otherMS.
@@ -169,6 +208,10 @@ type Collector struct {
 	// request found the disk in or heading to standby).
 	missOnDemand atomic.Int64
 	missInflight atomic.Int64
+
+	// faults counts injected-fault events by kind (all zero unless a
+	// fault plan is attached to the simulation).
+	faults [numFaultKinds]atomic.Int64
 
 	serviceMS Histogram
 	waitMS    Histogram
@@ -333,6 +376,22 @@ func (c *Collector) PowerOps(k PowerOpKind) int64 {
 		return 0
 	}
 	return c.powerOps[k].Load()
+}
+
+// CountFault records one injected-fault event.
+func (c *Collector) CountFault(k FaultKind) {
+	if c == nil {
+		return
+	}
+	c.faults[k].Add(1)
+}
+
+// FaultCount returns the injected-fault event count for one kind.
+func (c *Collector) FaultCount(k FaultKind) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.faults[k].Load()
 }
 
 // CountCacheHit records an instance-cache hit (preparation already

@@ -30,6 +30,11 @@ func WritePrometheus(w io.Writer, c *Collector) error {
 		fmt.Fprintf(bw, "sdpm_spinup_mispredictions_total{kind=\"ondemand\"} %d\n", c.missOnDemand.Load())
 		fmt.Fprintf(bw, "sdpm_spinup_mispredictions_total{kind=\"inflight\"} %d\n", c.missInflight.Load())
 
+		header(bw, "sdpm_faults_total", "Injected fault events by kind: spin-up failures, retries, timeout give-ups, on-demand fallbacks, bad-sector remap hits, degraded-window services.", "counter")
+		for k := FaultKind(0); k < numFaultKinds; k++ {
+			fmt.Fprintf(bw, "sdpm_faults_total{kind=%q} %d\n", k.String(), c.faults[k].Load())
+		}
+
 		if ds := c.disks.Load(); ds != nil && len(*ds) > 0 {
 			header(bw, "sdpm_disk_requests_total", "Requests serviced per disk.", "counter")
 			for d, dm := range *ds {

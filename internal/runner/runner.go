@@ -20,6 +20,7 @@
 package runner
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -40,6 +41,9 @@ type Pool struct {
 	// obs receives task counts, busy time, and the active-worker and
 	// queue-depth gauges when non-nil (see Observe).
 	obs *obs.Collector
+	// ctx, when non-nil, cancels Map early: in-flight cells finish,
+	// unclaimed cells are skipped (see WithContext).
+	ctx context.Context
 }
 
 // New returns a pool bounded at the given number of workers.
@@ -63,6 +67,22 @@ func (p *Pool) Observe(c *obs.Collector) *Pool {
 	return p
 }
 
+// WithContext returns a pool view whose Map calls observe ctx:
+// cancellation stops workers from claiming further cells (cells
+// already in flight run to completion — simulation cells are pure
+// computation and finish fast) and Map returns the context's error.
+// The view shares the receiver's helper bound and collector, so
+// nested Map calls across views still respect one worker budget. A
+// nil ctx (or a nil pool) returns the receiver unchanged.
+func (p *Pool) WithContext(ctx context.Context) *Pool {
+	if p == nil || ctx == nil {
+		return p
+	}
+	q := *p
+	q.ctx = ctx
+	return &q
+}
+
 // Workers returns the pool's worker bound (1 for a nil pool).
 func (p *Pool) Workers() int {
 	if p == nil {
@@ -75,13 +95,25 @@ func (p *Pool) Workers() int {
 // plus up to Workers()-1 helper goroutines. All cells run even when
 // some fail; the returned error is the one with the lowest index
 // (exactly what a sequential loop over [0, n) would return first).
+// When the pool carries a context (WithContext) and it is canceled,
+// workers stop claiming cells, in-flight cells finish, and Map
+// returns the lowest-index cell error if one occurred before the
+// cancellation point, or the context's error otherwise.
 func (p *Pool) Map(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	var c *obs.Collector
+	var ctx context.Context
 	if p != nil {
 		c = p.obs
+		ctx = p.ctx
+	}
+	canceled := func() error {
+		if ctx != nil {
+			return ctx.Err()
+		}
+		return nil
 	}
 	run := fn
 	if c != nil {
@@ -98,6 +130,11 @@ func (p *Pool) Map(n int, fn func(i int) error) error {
 		c.RunnerWorker(1)
 		defer c.RunnerWorker(-1)
 		for i := 0; i < n; i++ {
+			if err := canceled(); err != nil {
+				// Cells i.. were never claimed; drain the gauge.
+				c.RunnerQueue(int64(-(n - i)))
+				return err
+			}
 			if err := run(i); err != nil {
 				// Cells n-i-1.. were never claimed; drain the gauge.
 				c.RunnerQueue(int64(-(n - i - 1)))
@@ -107,15 +144,19 @@ func (p *Pool) Map(n int, fn func(i int) error) error {
 		return nil
 	}
 	errs := make([]error, n)
-	var next atomic.Int64
+	var next, claimed atomic.Int64
 	work := func() {
 		c.RunnerWorker(1)
 		defer c.RunnerWorker(-1)
 		for {
+			if canceled() != nil {
+				return
+			}
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
 			}
+			claimed.Add(1)
 			errs[i] = run(i)
 		}
 	}
@@ -140,10 +181,14 @@ spawn:
 	}
 	work()
 	wg.Wait()
+	if unclaimed := int64(n) - claimed.Load(); unclaimed > 0 {
+		// Cancellation left cells unclaimed; drain the gauge.
+		c.RunnerQueue(-unclaimed)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
 	}
-	return nil
+	return canceled()
 }

@@ -80,8 +80,14 @@ func TestMachineResetReuse(t *testing.T) {
 	p := disk.DefaultParams()
 	run := func(m *sim.Machine) ([]sim.DiskStats, [][]sim.IdlePeriod) {
 		m.SetRPMAt(0, 0, 3000)
-		end := m.Service(0, 500, 65536)
-		end = m.Service(1, end+200, 65536)
+		end, err := m.Service(0, 500, 65536)
+		if err != nil {
+			t.Fatal(err)
+		}
+		end, err = m.Service(1, end+200, 65536)
+		if err != nil {
+			t.Fatal(err)
+		}
 		m.SpinDownAt(1, end+5)
 		return m.Finish(end + 400)
 	}

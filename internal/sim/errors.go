@@ -1,0 +1,20 @@
+package sim
+
+import "fmt"
+
+// NotSpinningError reports a request issued to a disk whose platters
+// were not at full speed when service was about to start. The machine
+// guarantees this cannot happen on any well-formed run — the service
+// path waits out transitions and spins standby disks up on demand —
+// so the error marks internal-state corruption (e.g. a policy
+// mutating the machine outside its contract). It used to be a panic;
+// it is a typed error so embedding applications can fail one
+// simulation without taking down the process.
+type NotSpinningError struct {
+	Disk   int
+	Status Status
+}
+
+func (e *NotSpinningError) Error() string {
+	return fmt.Sprintf("sim: disk %d not spinning at service start (status %v)", e.Disk, e.Status)
+}

@@ -14,10 +14,10 @@
 package sim
 
 import (
-	"fmt"
 	"math"
 
 	"sdpm/internal/disk"
+	"sdpm/internal/faults"
 	"sdpm/internal/obs"
 )
 
@@ -74,6 +74,17 @@ type DiskStats struct {
 	// WaitMS is the total time requests waited for the disk to become
 	// ready (spin-up or shift completion) — the performance penalty.
 	WaitMS float64
+	// Injected-fault accounting (all zero unless a fault plan is
+	// attached; see AttachFaults).
+	SpinUpFailures int // spin-up attempts that failed
+	SpinUpRetries  int // backoff retries taken after failures
+	SpinUpTimeouts int // spin-up calls abandoned at the timeout cap
+	Fallbacks      int // requests served on demand after a given-up pre-activation
+	RemapHits      int // requests that hit a remapped bad sector
+	DegradedHits   int // requests serviced inside a degradation window
+	// DegradedExtraMS is the extra transfer time injected by
+	// degradation windows (already included in ActiveMS).
+	DegradedExtraMS float64
 	// RPMResidencyMS maps RPM level -> total spinning time at that
 	// level (idle plus servicing).
 	RPMResidencyMS map[int]float64
@@ -124,6 +135,14 @@ type dstate struct {
 	// non-level RPMs.
 	resid         []float64
 	residOverflow map[int]float64
+	// Fault-injection state (untouched when no plan is attached).
+	// upAttempts indexes this disk's spin-up attempts into the fault
+	// plan's decision stream; upAborted marks an in-progress StUp that
+	// resolves back to standby (the cascade gave up); upGaveUp flags
+	// that the next request must fall back to on-demand service.
+	upAttempts int
+	upAborted  bool
+	upGaveUp   bool
 }
 
 // record appends a timeline segment, merging with the previous one
@@ -156,6 +175,10 @@ type Machine struct {
 	// obs receives metric events when non-nil; the nil case costs one
 	// branch per emit point (see AttachCollector).
 	obs *obs.Collector
+	// faults is the injected-fault schedule; nil (the default) keeps
+	// every fault path disabled and the machine's arithmetic
+	// bit-identical to a fault-free build.
+	faults *faults.Plan
 }
 
 // obsState maps a power state (plus the active flag) onto the
@@ -273,6 +296,13 @@ func (m *Machine) EnableTimeline() { m.recTimeline = true }
 // EnsureDisks first so the per-event paths never allocate.
 func (m *Machine) AttachCollector(c *obs.Collector) { m.obs = c }
 
+// AttachFaults threads a fault plan through the machine: spin-up
+// attempts may fail and retry per the plan, remapped blocks pay their
+// relocation seek, and requests inside degradation windows transfer
+// slower. A nil plan detaches. The plan must cover at least the
+// machine's disk count.
+func (m *Machine) AttachFaults(p *faults.Plan) { m.faults = p }
+
 // Timelines returns the recorded per-disk timelines (nil per disk
 // unless EnableTimeline was called before simulation).
 func (m *Machine) Timelines() [][]Segment {
@@ -327,8 +357,16 @@ func (m *Machine) advance(d int, t float64) {
 				case StDown:
 					s.status = StStandby
 				case StUp:
-					s.status = StSpinning
-					s.rpm = m.p.MaxRPM
+					if s.upAborted {
+						// The spin-up cascade gave up (injected
+						// failures exhausted its retry budget); the
+						// platters settle back into standby.
+						s.upAborted = false
+						s.status = StStandby
+					} else {
+						s.status = StSpinning
+						s.rpm = m.p.MaxRPM
+					}
 				case StShift:
 					s.status = StSpinning
 				}
@@ -372,8 +410,19 @@ func (m *Machine) SpinDownAt(d int, t float64) {
 }
 
 // SpinUpAt initiates a TPM spin-up on disk d at time t. It is a
-// no-op unless the disk is in (or heading to) standby.
+// no-op unless the disk is in (or heading to) standby. Under an
+// attached fault plan the spin-up may fail and retry; a
+// pre-activation call that exhausts its retry budget (or its timeout
+// cap) gives up, leaving the disk in standby for the next request to
+// spin up on demand.
 func (m *Machine) SpinUpAt(d int, t float64) {
+	m.spinUp(d, t, false)
+}
+
+// spinUp implements SpinUpAt; onDemand marks the request-service
+// path, on which the retry cascade is forced to succeed eventually
+// (the degraded-mode no-deadlock guarantee).
+func (m *Machine) spinUp(d int, t float64, onDemand bool) {
 	s := &m.disks[d]
 	if s.status != StStandby && s.status != StDown {
 		return
@@ -384,12 +433,76 @@ func (m *Machine) SpinUpAt(d int, t float64) {
 		// nothing to do.
 		return
 	}
-	s.status = StUp
-	s.statusUntil = eff + m.p.SpinUpMS
-	s.transPowerW = m.p.SpinUpJ / m.p.SpinUpMS * 1e3
+	if m.faults == nil || m.faults.Config().SpinUpFailProb <= 0 {
+		s.status = StUp
+		s.statusUntil = eff + m.p.SpinUpMS
+		s.transPowerW = m.p.SpinUpJ / m.p.SpinUpMS * 1e3
+	} else {
+		// The whole cascade — attempts, backoffs — is modeled as one
+		// transitional segment at its average power, so energy is
+		// conserved exactly regardless of how many retries it holds.
+		dur, energy, ok := m.spinUpCascade(d, onDemand)
+		s.status = StUp
+		s.statusUntil = eff + dur
+		s.transPowerW = energy / dur * 1e3
+		s.upAborted = !ok
+		s.upGaveUp = !ok
+	}
 	s.stats.SpinUps++
 	if m.obs != nil {
 		m.obs.CountPowerOp(obs.OpSpinUp)
+	}
+}
+
+// spinUpCascade rolls the fault plan over one spin-up call's attempt
+// sequence and returns the cascade's total duration and energy, and
+// whether the platters end up at full speed. Every attempt costs the
+// full spin-up time and energy whether or not it succeeds; failed
+// attempts are separated by exponentially growing backoff spent at
+// standby power. A pre-activation cascade (onDemand false) gives up
+// once the retry budget or the timeout cap is exhausted; the
+// on-demand path instead forces success after the retry budget so a
+// request can never be stuck behind an unlucky decision stream.
+func (m *Machine) spinUpCascade(d int, onDemand bool) (durMS, energyJ float64, ok bool) {
+	s := &m.disks[d]
+	cfg := m.faults.Config()
+	backoff := cfg.RetryBackoffMS
+	for try := 0; ; try++ {
+		attempt := s.upAttempts
+		s.upAttempts++
+		durMS += m.p.SpinUpMS
+		energyJ += m.p.SpinUpJ
+		if onDemand && try >= cfg.MaxRetries {
+			// Forced success: the service path must terminate even at
+			// a 100% failure probability.
+			return durMS, energyJ, true
+		}
+		if !m.faults.SpinUpFails(d, attempt) {
+			return durMS, energyJ, true
+		}
+		s.stats.SpinUpFailures++
+		if m.obs != nil {
+			m.obs.CountFault(obs.FaultSpinUpFail)
+		}
+		if !onDemand {
+			if try >= cfg.MaxRetries {
+				return durMS, energyJ, false
+			}
+			if cfg.SpinUpTimeoutMS > 0 && durMS+backoff+m.p.SpinUpMS > cfg.SpinUpTimeoutMS {
+				s.stats.SpinUpTimeouts++
+				if m.obs != nil {
+					m.obs.CountFault(obs.FaultTimeout)
+				}
+				return durMS, energyJ, false
+			}
+		}
+		durMS += backoff
+		energyJ += m.p.StandbyW * backoff / 1e3
+		backoff *= 2
+		s.stats.SpinUpRetries++
+		if m.obs != nil {
+			m.obs.CountFault(obs.FaultRetry)
+		}
 	}
 }
 
@@ -426,8 +539,9 @@ func (m *Machine) SetRPMAt(d int, t float64, rpm int) {
 // shift in progress (spinning the disk up from standby on demand),
 // services the request, and returns the completion time. The seek
 // component uses the average seek time; use ServiceBlock for
-// distance-aware seeks.
-func (m *Machine) Service(d int, t float64, bytes int64) float64 {
+// distance-aware seeks. A non-nil error (*NotSpinningError) reports a
+// machine-invariant violation: the disk failed to reach full speed.
+func (m *Machine) Service(d int, t float64, bytes int64) (float64, error) {
 	return m.ServiceBlock(d, t, bytes, -1)
 }
 
@@ -435,31 +549,69 @@ func (m *Machine) Service(d int, t float64, bytes int64) float64 {
 // distance-aware seeking is enabled, the seek time follows the head
 // movement from the previous request's end position (a negative
 // block keeps the average-seek model for this request).
-func (m *Machine) ServiceBlock(d int, t float64, bytes, block int64) float64 {
+func (m *Machine) ServiceBlock(d int, t float64, bytes, block int64) (float64, error) {
 	s := &m.disks[d]
 	idleLen := t - s.idleFrom
 	s.idles = append(s.idles, IdlePeriod{StartMS: s.idleFrom, LenMS: idleLen})
 	pre := s.status
 	start := m.effectiveAt(d, t)
 	if s.status == StStandby {
-		// On-demand spin-up: the request pays the full delay.
-		m.SpinUpAt(d, start)
+		if m.faults != nil && s.upGaveUp {
+			// A pre-activation cascade gave up on this disk; the
+			// request degrades gracefully to on-demand service.
+			s.upGaveUp = false
+			s.stats.Fallbacks++
+			if m.obs != nil {
+				m.obs.CountFault(obs.FaultFallback)
+			}
+		}
+		// On-demand spin-up: the request pays the full delay. The
+		// service path forces the retry cascade to succeed, so one
+		// call always leaves the disk heading to full speed.
+		m.spinUp(d, start, true)
 		start = m.effectiveAt(d, start)
 	}
 	if s.status != StSpinning {
-		panic(fmt.Sprintf("sim: disk %d not spinning at service start (status %v)", d, s.status))
+		return 0, &NotSpinningError{Disk: d, Status: s.status}
 	}
 	s.stats.WaitMS += start - t
 	seek := m.p.AvgSeekMS
+	remapped := m.faults != nil && block >= 0 && m.faults.Remapped(d, block)
+	if remapped {
+		s.stats.RemapHits++
+		if m.obs != nil {
+			m.obs.CountFault(obs.FaultRemap)
+		}
+	}
 	if m.distSeek && block >= 0 {
-		dist := block - m.headPos[d]
+		target := block
+		if remapped {
+			// The bad sector is served from the spare area near the
+			// end of the platter; the head genuinely travels there.
+			target = m.faults.RemapTarget(block, m.maxBlocks)
+		}
+		dist := target - m.headPos[d]
 		if dist < 0 {
 			dist = -dist
 		}
 		seek = m.p.SeekTimeMS(dist, m.maxBlocks)
-		m.headPos[d] = block + bytes/512
+		m.headPos[d] = target + bytes/512
+	} else if remapped {
+		// Average-seek model: the relocation costs a flat penalty.
+		seek += m.faults.Config().RemapPenaltyMS
 	}
 	svc := m.p.ServiceTimeSeekMS(s.rpm, bytes, seek)
+	if m.faults != nil {
+		if factor, _ := m.faults.Degraded(d, start); factor > 1 {
+			extra := m.p.TransferTimeMS(s.rpm, bytes) * (factor - 1)
+			svc += extra
+			s.stats.DegradedHits++
+			s.stats.DegradedExtraMS += extra
+			if m.obs != nil {
+				m.obs.CountFault(obs.FaultDegraded)
+			}
+		}
+	}
 	pw := m.p.ActivePowerAt(s.rpm)
 	s.stats.EnergyJ += pw * svc / 1e3
 	s.stats.ActiveEnergyJ += pw * svc / 1e3
@@ -487,7 +639,7 @@ func (m *Machine) ServiceBlock(d int, t float64, bytes, block int64) float64 {
 	s.record(m.recTimeline, start, end, StSpinning, s.rpm, pw, true)
 	s.accT = end
 	s.idleFrom = end
-	return end
+	return end, nil
 }
 
 // Finish commits all disks' energy up to the program end time and

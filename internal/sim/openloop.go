@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"sort"
 
 	"sdpm/internal/trace"
@@ -62,6 +63,12 @@ func RunOpenLoop(tr *trace.Trace, cfg Config) (*Result, error) {
 		cfg.Obs.EnsureDisks(tr.NumDisks, cfg.Disk.MinRPM, cfg.Disk.RPMStep, cfg.Disk.NumLevels())
 		m.AttachCollector(cfg.Obs)
 	}
+	if cfg.Faults != nil {
+		if cfg.Faults.NumDisks() < tr.NumDisks {
+			return nil, fmt.Errorf("sim: fault plan covers %d disks, trace uses %d", cfg.Faults.NumDisks(), tr.NumDisks)
+		}
+		m.AttachFaults(cfg.Faults)
+	}
 	m.ReserveIdles(perDisk)
 	lastCompletion := make([]float64, tr.NumDisks)
 	end := 0.0
@@ -80,7 +87,10 @@ func RunOpenLoop(tr *trace.Trace, cfg Config) (*Result, error) {
 		if cfg.Policy != nil {
 			cfg.Policy.BeforeService(m, d, issue)
 		}
-		compl := m.ServiceBlock(d, issue, a.req.Bytes, a.req.Block)
+		compl, err := m.ServiceBlock(d, issue, a.req.Bytes, a.req.Block)
+		if err != nil {
+			return nil, err
+		}
 		if cfg.Policy != nil {
 			cfg.Policy.AfterService(m, d, compl, compl-a.at)
 		}

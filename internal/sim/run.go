@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sdpm/internal/disk"
+	"sdpm/internal/faults"
 	"sdpm/internal/obs"
 	"sdpm/internal/trace"
 )
@@ -54,6 +55,11 @@ type Config struct {
 	// executes. A nil Obs adds no overhead beyond one branch per
 	// emit point; an attached collector allocates nothing per event.
 	Obs *obs.Collector
+	// Faults, when non-nil, injects the plan's deterministic fault
+	// schedule (spin-up failures with bounded retry, bad-sector
+	// remaps, degradation windows) into the run. The plan must cover
+	// at least the trace's disk count.
+	Faults *faults.Plan
 }
 
 // DefaultPowerCallOverheadMS is the default power-management call
@@ -110,6 +116,12 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 		cfg.Obs.EnsureDisks(tr.NumDisks, cfg.Disk.MinRPM, cfg.Disk.RPMStep, cfg.Disk.NumLevels())
 		m.AttachCollector(cfg.Obs)
 	}
+	if cfg.Faults != nil {
+		if cfg.Faults.NumDisks() < tr.NumDisks {
+			return nil, fmt.Errorf("sim: fault plan covers %d disks, trace uses %d", cfg.Faults.NumDisks(), tr.NumDisks)
+		}
+		m.AttachFaults(cfg.Faults)
+	}
 	// Size the per-disk idle-period lists exactly (one idle period per
 	// request plus the trailing one) so the event loop never grows
 	// them.
@@ -146,7 +158,10 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 			if cfg.Policy != nil {
 				cfg.Policy.BeforeService(m, d, clock)
 			}
-			end := m.ServiceBlock(d, clock, ev.Req.Bytes, ev.Req.Block)
+			end, err := m.ServiceBlock(d, clock, ev.Req.Bytes, ev.Req.Block)
+			if err != nil {
+				return nil, err
+			}
 			if cfg.Policy != nil {
 				cfg.Policy.AfterService(m, d, end, end-clock)
 			}

@@ -17,10 +17,14 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
 )
+
+// isFinite reports whether v is neither NaN nor infinite.
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // ReqKind is the request type: read or write.
 type ReqKind uint8
@@ -232,12 +236,17 @@ func (t *Trace) Validate() error {
 	prevArrival := -1.0
 	for i := range t.Events {
 		ev := &t.Events[i]
-		if ev.GapMS < 0 {
-			return fmt.Errorf("trace: event %d has negative gap", i)
+		// NaN passes every ordered comparison below (NaN < 0 is false),
+		// so non-finite times must be rejected explicitly.
+		if !isFinite(ev.GapMS) || ev.GapMS < 0 {
+			return fmt.Errorf("trace: event %d has bad gap %v", i, ev.GapMS)
 		}
 		switch ev.Kind {
 		case EvRequest:
 			r := &ev.Req
+			if !isFinite(r.ArrivalMS) {
+				return fmt.Errorf("trace: event %d has non-finite arrival %v", i, r.ArrivalMS)
+			}
 			if r.Disk < 0 || r.Disk >= t.NumDisks {
 				return fmt.Errorf("trace: event %d disk %d out of range", i, r.Disk)
 			}
@@ -258,6 +267,9 @@ func (t *Trace) Validate() error {
 			}
 			if o.Kind == OpSetRPM && o.RPM <= 0 {
 				return fmt.Errorf("trace: event %d set_rpm with non-positive RPM", i)
+			}
+			if !isFinite(o.PredictedIdleMS) {
+				return fmt.Errorf("trace: event %d has non-finite predicted idle %v", i, o.PredictedIdleMS)
 			}
 		default:
 			return fmt.Errorf("trace: event %d has unknown kind %d", i, ev.Kind)

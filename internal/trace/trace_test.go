@@ -56,6 +56,14 @@ func TestValidateCatches(t *testing.T) {
 		func(tr *Trace) { tr.Events[1].Op.Disk = -1 },
 		func(tr *Trace) { tr.Events[1].Op.RPM = 0 },
 		func(tr *Trace) { tr.Events[0].Kind = 7 },
+		// Non-finite times slip through ordered comparisons; Validate
+		// must reject them explicitly.
+		func(tr *Trace) { tr.Events[0].GapMS = math.NaN() },
+		func(tr *Trace) { tr.Events[0].GapMS = math.Inf(1) },
+		func(tr *Trace) { tr.Events[0].Req.ArrivalMS = math.NaN() },
+		func(tr *Trace) { tr.Events[2].Req.ArrivalMS = math.Inf(1) },
+		func(tr *Trace) { tr.Events[1].Op.PredictedIdleMS = math.NaN() },
+		func(tr *Trace) { tr.Events[4].Op.PredictedIdleMS = math.Inf(-1) },
 	}
 	for i, m := range mut {
 		tr := sampleTrace()

@@ -24,7 +24,7 @@ func sweepProgram(t *testing.T, elems int64, sweeps int, costPerIter int64) (*ir
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub := layout.NewSubsystem(8)
+	sub := layout.MustSubsystem(8)
 	if err := access.PlaceArrays(p, sub, layout.Striping{StartDisk: 0, Factor: 8, UnitBytes: 65536}); err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestCacheSuppressesRepeats(t *testing.T) {
 	b.Nest("n0", ir.L("i", 8192)).Stmt(10, ir.R(u, ir.Var(0)))
 	b.Nest("n1", ir.L("i", 8192)).Stmt(10, ir.R(u, ir.Var(0)))
 	p := b.MustBuild()
-	sub := layout.NewSubsystem(4)
+	sub := layout.MustSubsystem(4)
 	if err := access.PlaceArrays(p, sub, layout.Striping{StartDisk: 0, Factor: 4, UnitBytes: 16384}); err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +236,7 @@ func TestWriteKindPropagates(t *testing.T) {
 	v := b.Array1D("v", 8192)
 	b.Nest("n0", ir.L("i", 8192)).Stmt(10, ir.R(u, ir.Var(0)), ir.W(v, ir.Var(0)))
 	p := b.MustBuild()
-	sub := layout.NewSubsystem(2)
+	sub := layout.MustSubsystem(2)
 	if err := access.PlaceArrays(p, sub, layout.Striping{StartDisk: 0, Factor: 2, UnitBytes: 16384}); err != nil {
 		t.Fatal(err)
 	}

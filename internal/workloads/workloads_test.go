@@ -18,7 +18,7 @@ import (
 func baseRun(t *testing.T, b *Benchmark) (*sim.Result, []tracegen.Site) {
 	t.Helper()
 	p := disk.DefaultParams()
-	sub := layout.NewSubsystem(DefaultDisks)
+	sub := layout.MustSubsystem(DefaultDisks)
 	if err := access.PlaceArraysStaggered(b.Program, sub, DefaultDisks, UnitBytes); err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestTransposedBenchmarksAreTileable(t *testing.T) {
 // trace, the cost metric the experiments hand to the tiler.
 func nestRequestCounts(t *testing.T, b *Benchmark) []float64 {
 	t.Helper()
-	sub := layout.NewSubsystem(DefaultDisks)
+	sub := layout.MustSubsystem(DefaultDisks)
 	if err := access.PlaceArraysStaggered(b.Program, sub, DefaultDisks, UnitBytes); err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +234,7 @@ func TestRequestsSpreadAcrossDisks(t *testing.T) {
 	// meaningful share of each benchmark's requests — the structure
 	// behind the paper's per-disk idle-period lengths.
 	for _, b := range All() {
-		sub := layout.NewSubsystem(DefaultDisks)
+		sub := layout.MustSubsystem(DefaultDisks)
 		if err := access.PlaceArraysStaggered(b.Program, sub, DefaultDisks, UnitBytes); err != nil {
 			t.Fatal(err)
 		}

@@ -30,6 +30,7 @@ import (
 	"sdpm/internal/core"
 	"sdpm/internal/cycles"
 	"sdpm/internal/dsl"
+	"sdpm/internal/faults"
 	"sdpm/internal/insert"
 	"sdpm/internal/ir"
 	"sdpm/internal/layout"
@@ -112,6 +113,15 @@ type Config struct {
 	// DistanceAwareSeek replaces the average-seek model with the
 	// square-root seek curve over actual head movement.
 	DistanceAwareSeek bool
+	// FaultSpec injects deterministic faults (spin-up failures with
+	// bounded retry, bad-sector remaps, transient degradation windows)
+	// into every simulation: a preset name (off/light/moderate/heavy),
+	// a key=value spec, or "@file" — see docs/robustness.md. Empty
+	// injects nothing.
+	FaultSpec string
+	// FaultSeed seeds the fault schedule; the same (spec, seed, disk
+	// count) always produces byte-identical behavior.
+	FaultSeed int64
 }
 
 // DefaultConfig returns the paper's Table 1 configuration: eight
@@ -211,6 +221,17 @@ func (w *Workload) SetLayout(array string, startDisk, factor int, unitBytes int6
 	if w.prog.ArrayByName(array) == nil {
 		return fmt.Errorf("sdpm: no array %q in %s", array, w.name)
 	}
+	// Reject bad tuples here, where the caller still has the flag
+	// context, instead of letting layout placement fail later.
+	if startDisk < 0 {
+		return fmt.Errorf("sdpm: layout for %q: negative starting disk %d", array, startDisk)
+	}
+	if factor <= 0 {
+		return fmt.Errorf("sdpm: layout for %q: non-positive stripe factor %d", array, factor)
+	}
+	if unitBytes <= 0 {
+		return fmt.Errorf("sdpm: layout for %q: non-positive stripe unit %d bytes", array, unitBytes)
+	}
 	if w.overrides == nil {
 		w.overrides = make(map[string]layout.Striping)
 	}
@@ -243,6 +264,14 @@ func (w *Workload) coreConfig(cfg Config) (core.Config, error) {
 	cc.Model = m
 	cc.DisablePreactivation = cfg.DisablePreactivation
 	cc.DistanceAwareSeek = cfg.DistanceAwareSeek
+	if cfg.FaultSpec != "" {
+		fc, err := faults.ParseSpec(cfg.FaultSpec)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cc.Faults = fc
+		cc.FaultSeed = cfg.FaultSeed
+	}
 	return cc, cc.Validate()
 }
 
