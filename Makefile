@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short vet race fuzz-smoke bench bench-json experiments examples cover clean
+.PHONY: all check build test test-short vet race fuzz-smoke bench bench-json experiments golden golden-drift examples cover clean
 
 all: check
 
@@ -25,9 +25,10 @@ vet:
 
 # race runs the race detector where concurrency lives: the worker
 # pool (including cancellation), the memoizing instance cache, the
-# simulator, and the fault-injection plan shared across workers.
+# simulator, the fault-injection plan shared across workers, and the
+# journal appended to by concurrent experiment cells.
 race:
-	$(GO) test -race ./internal/runner ./internal/core ./internal/sim ./internal/faults
+	$(GO) test -race ./internal/runner ./internal/core ./internal/sim ./internal/faults ./internal/journal
 
 # fuzz-smoke gives each fuzz target a short budget — enough to shake
 # out parser and numeric regressions on every CI run without turning
@@ -39,6 +40,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run='^$$' -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/faults
 	$(GO) test -run='^$$' -fuzz=FuzzBreakEven -fuzztime=$(FUZZTIME) ./internal/disk
+	$(GO) test -run='^$$' -fuzz=FuzzJournalDecode -fuzztime=$(FUZZTIME) ./internal/journal
 
 # bench records the root experiment benchmarks (including the
 # Sequential/Parallel suite pair) and the simulator hot-path
@@ -57,6 +59,17 @@ bench-json:
 
 experiments:
 	$(GO) run ./cmd/dpmexp -run all
+
+# golden regenerates the checked-in experiment output, with the
+# conservation audit verifying every simulation along the way.
+# golden-drift fails if the regenerated output differs from the
+# committed file — the CI guard against silent behavior changes.
+golden:
+	mkdir -p results
+	$(GO) run ./cmd/dpmexp -run all -audit > results/experiments.txt
+
+golden-drift: golden
+	git diff --exit-code results/experiments.txt
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -13,11 +13,27 @@
 //	                    per-disk residency, instance-cache hit/miss/
 //	                    singleflight counts, worker-pool utilization)
 //	                    after the experiments complete; "-" writes to
-//	                    stderr so stdout keeps only the tables
+//	                    stderr so stdout keeps only the tables. Files
+//	                    are written atomically (tmp + fsync + rename).
 //	-v / -q             debug-level / warnings-only structured logs
+//
+// Robustness:
+//
+//	-journal FILE       record every completed experiment cell to a
+//	                    crash-safe append-only journal (fsynced and
+//	                    CRC-protected per record)
+//	-resume             reopen the -journal file and skip cells that
+//	                    already hold a valid record; output is
+//	                    byte-identical to an uninterrupted run
+//	-audit              verify conservation invariants (energy and
+//	                    time bookkeeping, disk state-machine legality)
+//	                    after every simulation; fail loudly on drift
+//	-retries N          re-run a failing or panicking cell up to N
+//	                    extra times before reporting its error
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -39,6 +55,10 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write Prometheus text-format metrics to this file after the experiments (- for stderr)")
 	faultSpec := flag.String("faults", "", "fault-injection spec: preset (off/light/moderate/heavy), key=value list, or @file; empty = fault-free")
 	faultSeed := flag.Int64("fault-seed", 1, "fault schedule seed; the same seed reproduces the exact fault pattern at any -workers count")
+	journalPath := flag.String("journal", "", "record completed experiment cells to this crash-safe journal file")
+	resume := flag.Bool("resume", false, "reopen the -journal file and skip cells it already holds (requires -journal)")
+	audit := flag.Bool("audit", false, "verify conservation invariants after every simulation; fail on any violation")
+	retries := flag.Int("retries", 0, "extra attempts for a failing or panicking experiment cell")
 	verbose, quiet := cli.LogFlags(flag.CommandLine)
 	flag.Parse()
 	cli.SetupLogging("dpmexp", *verbose, *quiet)
@@ -53,29 +73,36 @@ func main() {
 	// metrics are still flushed before the process exits non-zero.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *resume && *journalPath == "" {
+		cli.Fatal(fmt.Errorf("-resume requires -journal"))
+	}
 	opts := sdpm.Options{
 		Format: *format, Workers: *workers, Ctx: ctx,
 		FaultSpec: *faultSpec, FaultSeed: *faultSeed,
+		Journal: *journalPath, Resume: *resume,
+		Audit: *audit, Retries: *retries,
 	}
-	var metricsFile *os.File
+	var metricsBuf *bytes.Buffer
 	if *metricsOut != "" {
 		// The tables own stdout; "-" routes the exposition to stderr.
+		// A file destination is buffered and written atomically below,
+		// so a crash mid-dump never leaves a truncated metrics file.
 		var dst io.Writer = os.Stderr
 		if *metricsOut != "-" {
-			f, err := os.Create(*metricsOut)
-			if err != nil {
-				cli.Fatal(err)
-			}
-			metricsFile = f
-			dst = f
+			metricsBuf = &bytes.Buffer{}
+			dst = metricsBuf
 		}
 		opts.Metrics = dst
 	}
 	runErr := sdpm.RunExperiments(*run, os.Stdout, opts)
-	if metricsFile != nil {
+	if metricsBuf != nil {
 		// RunExperiments wrote (possibly partial) metrics even on
-		// failure or cancellation; always close the file.
-		if err := metricsFile.Close(); err != nil && runErr == nil {
+		// failure or cancellation; flush whatever it produced.
+		err := cli.WriteFileAtomic(*metricsOut, func(w io.Writer) error {
+			_, werr := w.Write(metricsBuf.Bytes())
+			return werr
+		})
+		if err != nil && runErr == nil {
 			runErr = err
 		}
 		slog.Debug("metrics written", "path", *metricsOut)

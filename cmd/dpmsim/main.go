@@ -20,7 +20,13 @@
 //	-trace-out FILE     write a Chrome trace-event / Perfetto JSON
 //	                    timeline of the run (open in ui.perfetto.dev
 //	                    or chrome://tracing); single-policy runs only
+//	-audit              verify conservation invariants (energy/time
+//	                    bookkeeping, state-machine legality) after the
+//	                    run; fail loudly on any violation
 //	-v / -q             debug-level / warnings-only structured logs
+//
+// File outputs (-metrics-out, -trace-out) are written atomically:
+// a temp file is fsynced and renamed over the destination.
 package main
 
 import (
@@ -59,6 +65,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event / Perfetto JSON timeline to this file (single-policy runs)")
 	faultSpec := flag.String("faults", "", "fault-injection spec: preset (off/light/moderate/heavy), key=value list, or @file; empty = fault-free")
 	faultSeed := flag.Int64("fault-seed", 1, "fault schedule seed; the same seed reproduces the exact fault pattern")
+	audit := flag.Bool("audit", false, "verify conservation invariants (energy/time bookkeeping, state-machine legality) after the run; fail on any violation")
 	verbose, quiet := cli.LogFlags(flag.CommandLine)
 	flag.Parse()
 	cli.SetupLogging("dpmsim", *verbose, *quiet)
@@ -100,6 +107,7 @@ func main() {
 		PowerCallOverheadMS: sim.DefaultPowerCallOverheadMS,
 		DistanceAwareSeek:   *distSeek,
 		RecordTimeline:      *timeline > 0 || *traceOut != "",
+		Audit:               *audit,
 		Obs:                 coll,
 	}
 	if *faultSpec != "" {
@@ -205,39 +213,38 @@ func main() {
 }
 
 // writeMetrics dumps the collector in Prometheus text format to the
-// named file ("-" for stdout); empty name is a no-op.
+// named file ("-" for stdout); empty name is a no-op. File writes go
+// through a temp-file + rename so a crash never truncates the dump.
 func writeMetrics(path string, coll *obs.Collector) {
 	if path == "" || coll == nil {
 		return
 	}
-	dst := os.Stdout
-	if path != "-" {
-		f, err := os.Create(path)
-		if err != nil {
-			cli.Fatal(err)
-		}
-		defer f.Close()
-		dst = f
+	var err error
+	if path == "-" {
+		err = obs.WritePrometheus(os.Stdout, coll)
+	} else {
+		err = cli.WriteFileAtomic(path, func(w io.Writer) error {
+			return obs.WritePrometheus(w, coll)
+		})
 	}
-	if err := obs.WritePrometheus(dst, coll); err != nil {
+	if err != nil {
 		cli.Fatal(err)
 	}
 	slog.Debug("metrics written", "path", path)
 }
 
 // writeTraceFile dumps the run's recorded timelines as Chrome
-// trace-event JSON ("-" for stdout).
+// trace-event JSON ("-" for stdout); file writes are atomic.
 func writeTraceFile(path string, res *sim.Result) {
-	dst := os.Stdout
-	if path != "-" {
-		f, err := os.Create(path)
-		if err != nil {
-			cli.Fatal(err)
-		}
-		defer f.Close()
-		dst = f
+	var err error
+	if path == "-" {
+		err = sim.WriteChromeTrace(os.Stdout, res)
+	} else {
+		err = cli.WriteFileAtomic(path, func(w io.Writer) error {
+			return sim.WriteChromeTrace(w, res)
+		})
 	}
-	if err := sim.WriteChromeTrace(dst, res); err != nil {
+	if err != nil {
 		cli.Fatal(err)
 	}
 	slog.Debug("trace timeline written", "path", path)

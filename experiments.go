@@ -9,6 +9,7 @@ import (
 
 	"sdpm/internal/experiments"
 	"sdpm/internal/faults"
+	"sdpm/internal/journal"
 	"sdpm/internal/obs"
 	"sdpm/internal/stats"
 )
@@ -56,6 +57,28 @@ type Options struct {
 	// FaultSeed seeds the fault-sensitivity experiments' fault plans;
 	// the same seed yields byte-identical tables at any worker count.
 	FaultSeed int64
+	// Journal, when non-empty, records every completed experiment cell
+	// to this append-only file (fsynced per record, CRC-protected).
+	// With Resume false the file is truncated and written fresh; on
+	// success it is compacted and atomically finalized, while on
+	// failure or cancellation the journal is left behind so a later
+	// Resume run can pick up where this one stopped.
+	Journal string
+	// Resume reopens an existing journal instead of truncating it:
+	// cells whose key already holds a valid record are skipped, torn
+	// trailing records from a crash are discarded, and only the
+	// missing cells are recomputed. Output is byte-identical to an
+	// uninterrupted run.
+	Resume bool
+	// Audit verifies conservation invariants (energy bookkeeping,
+	// time accounting, disk state-machine legality) after every
+	// simulation and fails loudly on any violation. Results are
+	// unchanged; auditing only adds checking.
+	Audit bool
+	// Retries re-runs a failing or panicking experiment cell up to
+	// this many extra times before reporting its error. 0 disables
+	// retries; panics still surface as typed errors either way.
+	Retries int
 }
 
 // RunExperiment regenerates one of the paper's tables or figures (or
@@ -96,8 +119,28 @@ func RunExperiments(id string, out io.Writer, opts Options) error {
 		s.Cfg.FaultSeed = opts.FaultSeed
 	}
 	s.FaultSeed = opts.FaultSeed
+	s.Cfg.Audit = opts.Audit
+	s.Retries = opts.Retries
 	if opts.Metrics != nil {
 		s.Obs = obs.New()
+	}
+	if opts.Journal != "" {
+		var (
+			j    *journal.Journal
+			jerr error
+		)
+		if opts.Resume {
+			j, jerr = journal.Open(opts.Journal)
+		} else {
+			j, jerr = journal.Create(opts.Journal)
+		}
+		if jerr != nil {
+			return jerr
+		}
+		if records, torn := j.Recovered(); records > 0 || torn > 0 {
+			slog.Info("journal recovered", "path", opts.Journal, "records", records, "truncated_bytes", torn)
+		}
+		s.Journal = j
 	}
 	// Run, then flush metrics regardless of failure or cancellation:
 	// a partial Prometheus dump still tells the operator what happened
@@ -105,6 +148,16 @@ func RunExperiments(id string, out io.Writer, opts Options) error {
 	err := runSelected(s, id, out, format, opts.Ctx)
 	if merr := writeMetrics(opts.Metrics, s.Obs); err == nil {
 		err = merr
+	}
+	// Finalize (compact + atomic rename) the journal only on full
+	// success; on failure or cancellation just close it, keeping every
+	// fsynced record for a -resume run.
+	if s.Journal != nil {
+		if err == nil {
+			err = s.Journal.Finalize()
+		} else if cerr := s.Journal.Close(); cerr != nil {
+			slog.Warn("journal close failed", "path", opts.Journal, "err", cerr)
+		}
 	}
 	return err
 }

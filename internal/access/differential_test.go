@@ -16,7 +16,7 @@ import (
 func TestWalkerMatchesBruteForceGenerated(t *testing.T) {
 	rng := rand.New(rand.NewSource(909))
 	for trial := 0; trial < 120; trial++ {
-		p := progen.Generate(rng, progen.DefaultOptions())
+		p := progen.MustGenerate(rng, progen.DefaultOptions())
 		sub := layout.MustSubsystem(1 + rng.Intn(6))
 		factor := 1 + rng.Intn(sub.NumDisks())
 		unit := int64(512 * (1 + rng.Intn(4)))

@@ -1,0 +1,45 @@
+package cli
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a file through a temporary sibling: the
+// writer runs against "<path>.tmp", which is fsynced, closed, and
+// renamed over the destination only if every step succeeded. A crash
+// or write error never leaves a half-written file at path — at worst
+// a stale .tmp, which the next successful write replaces. The
+// containing directory is fsynced best-effort so the rename itself
+// survives a crash.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
+}

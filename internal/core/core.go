@@ -100,6 +100,12 @@ type Config struct {
 	// FaultSeed seeds the fault plan; the same seed always yields the
 	// same fault schedule, at any worker count.
 	FaultSeed int64
+	// Audit verifies the simulator's conservation invariants after
+	// every run (see sim.Audit), failing the run with a structured
+	// report on any violation. Auditing never changes results, so the
+	// flag is deliberately excluded from Fingerprint — audited and
+	// unaudited runs share cache entries and journal records.
+	Audit bool
 }
 
 // DefaultConfig returns the Table 1 configuration.
@@ -282,6 +288,7 @@ func (in *Instance) Run(s Scheme) (*sim.Result, error) {
 		DistanceAwareSeek:   in.Cfg.DistanceAwareSeek,
 		Obs:                 in.Obs,
 		Faults:              in.faultPlan,
+		Audit:               in.Cfg.Audit,
 	}
 	tr := in.BaseTrace()
 	switch s {
@@ -327,6 +334,7 @@ func (in *Instance) RunOpen(s Scheme) (*sim.Result, error) {
 		DistanceAwareSeek: in.Cfg.DistanceAwareSeek,
 		Obs:               in.Obs,
 		Faults:            in.faultPlan,
+		Audit:             in.Cfg.Audit,
 	}
 	switch s {
 	case Base:

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"sdpm/internal/faults"
+	"sdpm/internal/workloads"
+)
+
+// faultCoverageBenches and faultCoverageSchemes span the fault-injection
+// coverage matrix beyond the swim LF+DL sweep of the experiments layer:
+// three benchmarks with distinct access shapes under the reactive DRPM
+// scheme and both oracle schemes.
+var faultCoverageBenches = []string{"swim", "mesa", "galgel"}
+
+var faultCoverageSchemes = []Scheme{DRPM, ITPM, IDRPM}
+
+func coverageInstance(t *testing.T, benchName string, cfg Config) *Instance {
+	t.Helper()
+	b, err := workloads.ByName(benchName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := Prepare(b.Name, b.Program, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestFaultFreeByteIdentity: attaching a fault plan whose probabilities
+// are negligible (but non-zero, so the plan-driven code paths run) must
+// leave every figure bit-identical to the fault-free run, for every
+// (benchmark, scheme) pair in the coverage matrix. This pins down the
+// invariant the fault-free experiments rely on: the injection machinery
+// itself costs nothing unless a fault actually fires.
+func TestFaultFreeByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault coverage matrix is slow")
+	}
+	for _, bench := range faultCoverageBenches {
+		bench := bench
+		t.Run(bench, func(t *testing.T) {
+			t.Parallel()
+			clean := coverageInstance(t, bench, DefaultConfig())
+			cfg := DefaultConfig()
+			// Enabled (SpinUpFailProb > 0) so a plan is derived and the
+			// cascade path executes, but far too small for any seeded
+			// draw to ever fire.
+			cfg.Faults = faults.Config{SpinUpFailProb: 1e-12}
+			cfg.FaultSeed = 99
+			armed := coverageInstance(t, bench, cfg)
+			for _, sc := range faultCoverageSchemes {
+				want, err := clean.Run(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := armed.Run(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.EnergyJ != want.EnergyJ || got.ExecMS != want.ExecMS || got.TotalWaitMS != want.TotalWaitMS {
+					t.Errorf("%s/%s: never-firing plan changed the run: (%v,%v,%v) vs (%v,%v,%v)",
+						bench, sc,
+						got.EnergyJ, got.ExecMS, got.TotalWaitMS,
+						want.EnergyJ, want.ExecMS, want.TotalWaitMS)
+				}
+				for d, st := range got.Disks {
+					if st.SpinUpFailures != 0 || st.RemapHits != 0 || st.DegradedHits != 0 {
+						t.Errorf("%s/%s disk %d: phantom faults: %d failures, %d remaps, %d degraded",
+							bench, sc, d, st.SpinUpFailures, st.RemapHits, st.DegradedHits)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFaultEnergyAccountingAudited: under the moderate fault preset
+// every (benchmark, scheme) pair runs with the conservation audit on —
+// so the per-disk energy breakdown, the timeline power integral, and
+// the fault counters are all verified to be exact (fault energy charged
+// exactly once, never dropped or doubled) — and two identical runs
+// stay bit-identical.
+func TestFaultEnergyAccountingAudited(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault coverage matrix is slow")
+	}
+	fc, ok := faults.Preset("moderate")
+	if !ok {
+		t.Fatal("moderate preset missing")
+	}
+	for _, bench := range faultCoverageBenches {
+		bench := bench
+		t.Run(bench, func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig()
+			cfg.Faults = fc
+			cfg.FaultSeed = 42
+			cfg.Audit = true
+			in := coverageInstance(t, bench, cfg)
+			for _, sc := range faultCoverageSchemes {
+				a, err := in.Run(sc)
+				if err != nil {
+					t.Fatalf("%s/%s: audited faulted run failed: %v", bench, sc, err)
+				}
+				b, err := in.Run(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a.EnergyJ != b.EnergyJ || a.ExecMS != b.ExecMS || a.TotalWaitMS != b.TotalWaitMS {
+					t.Errorf("%s/%s: identical faulted runs diverged", bench, sc)
+				}
+				var sum float64
+				for _, st := range a.Disks {
+					sum += st.ActiveEnergyJ + st.IdleEnergyJ + st.StandbyEnergyJ + st.TransitionEnergyJ
+				}
+				if diff := sum - a.EnergyJ; diff > 1e-6 || diff < -1e-6 {
+					t.Errorf("%s/%s: energy breakdown sums to %g, reported %g", bench, sc, sum, a.EnergyJ)
+				}
+			}
+		})
+	}
+}

@@ -29,7 +29,7 @@ func TestPipelineInvariantsGenerated(t *testing.T) {
 	opts.MaxDim = 96
 	trials := 0
 	for trials < 40 {
-		p := progen.Generate(rng, opts)
+		p := progen.MustGenerate(rng, opts)
 		cfg := DefaultConfig()
 		cfg.NumDisks = 1 + rng.Intn(8)
 		cfg.UnitBytes = 512 << rng.Intn(4)
@@ -99,7 +99,7 @@ func TestTransformInvariantsGenerated(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(777))
 	for trial := 0; trial < 30; trial++ {
-		p := progen.Generate(rng, progen.DefaultOptions())
+		p := progen.MustGenerate(rng, progen.DefaultOptions())
 		cfg := DefaultConfig()
 		cfg.NumDisks = 2 + rng.Intn(7)
 		for _, v := range ExtendedVersions() {

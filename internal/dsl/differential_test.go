@@ -12,7 +12,7 @@ import (
 func TestRoundTripGenerated(t *testing.T) {
 	rng := rand.New(rand.NewSource(303))
 	for trial := 0; trial < 150; trial++ {
-		p := progen.Generate(rng, progen.DefaultOptions())
+		p := progen.MustGenerate(rng, progen.DefaultOptions())
 		text := Format(p)
 		q, err := Parse(text)
 		if err != nil {

@@ -31,35 +31,39 @@ func (s *Suite) AblationPreactivation() (*stats.Table, error) {
 		Title:   "Ablation: pre-activation (normalized energy | time)",
 		Columns: []string{"CMDRPM-E", "CMDRPM-T", "noPre-E", "noPre-T"},
 	}
-	rows := make([][4]float64, len(s.Benchmarks))
+	rows := make([][]float64, len(s.Benchmarks))
 	err := s.pool().Map(len(s.Benchmarks), func(i int) error {
 		b := s.Benchmarks[i]
 		cfg := s.configFor(b)
-		in, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
-		if err != nil {
-			return err
-		}
-		base, err := in.Run(core.Base)
-		if err != nil {
-			return err
-		}
-		on, err := in.Run(core.CMDRPM)
-		if err != nil {
-			return err
-		}
-		cfg.DisablePreactivation = true
-		inOff, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
-		if err != nil {
-			return err
-		}
-		off, err := inOff.Run(core.CMDRPM)
-		if err != nil {
-			return err
-		}
-		rows[i] = [4]float64{
-			on.EnergyJ / base.EnergyJ, on.ExecMS / base.ExecMS,
-			off.EnergyJ / base.EnergyJ, off.ExecMS / base.ExecMS}
-		return nil
+		vals, err := s.cell(s.cellKey("preact", &cfg, b.Name), 4, func() ([]float64, error) {
+			in, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			base, err := in.Run(core.Base)
+			if err != nil {
+				return nil, err
+			}
+			on, err := in.Run(core.CMDRPM)
+			if err != nil {
+				return nil, err
+			}
+			cfgOff := cfg
+			cfgOff.DisablePreactivation = true
+			inOff, err := s.memo().Prepare(b.Name, b.Program, cfgOff, nil)
+			if err != nil {
+				return nil, err
+			}
+			off, err := inOff.Run(core.CMDRPM)
+			if err != nil {
+				return nil, err
+			}
+			return []float64{
+				on.EnergyJ / base.EnergyJ, on.ExecMS / base.ExecMS,
+				off.EnergyJ / base.EnergyJ, off.ExecMS / base.ExecMS}, nil
+		})
+		rows[i] = vals
+		return err
 	})
 	if err != nil {
 		return nil, err
@@ -86,30 +90,33 @@ func (s *Suite) AblationNoise(benchName string, biasLevels []float64) (*stats.Ta
 		Columns:   []string{"mispredict%", "CMDRPM-E", "CMDRPM-T"},
 		Precision: 3,
 	}
-	rows := make([][3]float64, len(biasLevels))
+	rows := make([][]float64, len(biasLevels))
 	err = s.pool().Map(len(biasLevels), func(i int) error {
 		cfg := s.configFor(b)
 		m := b.Model()
 		m.BiasPct = biasLevels[i]
 		cfg.Model = m
-		in, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
-		if err != nil {
-			return err
-		}
-		base, err := in.Run(core.Base)
-		if err != nil {
-			return err
-		}
-		cm, err := in.Run(core.CMDRPM)
-		if err != nil {
-			return err
-		}
-		st, err := in.Mispredictions()
-		if err != nil {
-			return err
-		}
-		rows[i] = [3]float64{st.Pct, cm.EnergyJ / base.EnergyJ, cm.ExecMS / base.ExecMS}
-		return nil
+		vals, err := s.cell(s.cellKey("noise", &cfg, b.Name), 3, func() ([]float64, error) {
+			in, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			base, err := in.Run(core.Base)
+			if err != nil {
+				return nil, err
+			}
+			cm, err := in.Run(core.CMDRPM)
+			if err != nil {
+				return nil, err
+			}
+			st, err := in.Mispredictions()
+			if err != nil {
+				return nil, err
+			}
+			return []float64{st.Pct, cm.EnergyJ / base.EnergyJ, cm.ExecMS / base.ExecMS}, nil
+		})
+		rows[i] = vals
+		return err
 	})
 	if err != nil {
 		return nil, err
@@ -134,29 +141,33 @@ func (s *Suite) AblationCache() (*stats.Table, error) {
 	benches := s.selected(func(b *workloads.Benchmark) bool {
 		return b.Name != "wupwise" && b.Name != "mgrid"
 	})
-	rows := make([][4]float64, len(benches))
+	rows := make([][]float64, len(benches))
 	err := s.pool().Map(len(benches), func(i int) error {
 		b := benches[i]
 		cfg := s.configFor(b)
-		in, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
-		if err != nil {
-			return err
-		}
-		res, err := in.Run(core.Base)
-		if err != nil {
-			return err
-		}
-		cfg.NoCache = true
-		inNC, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
-		if err != nil {
-			return err
-		}
-		resNC, err := inNC.Run(core.Base)
-		if err != nil {
-			return err
-		}
-		rows[i] = [4]float64{float64(len(in.Sites)), float64(len(inNC.Sites)), res.EnergyJ, resNC.EnergyJ}
-		return nil
+		vals, err := s.cell(s.cellKey("cache", &cfg, b.Name), 4, func() ([]float64, error) {
+			in, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			res, err := in.Run(core.Base)
+			if err != nil {
+				return nil, err
+			}
+			cfgNC := cfg
+			cfgNC.NoCache = true
+			inNC, err := s.memo().Prepare(b.Name, b.Program, cfgNC, nil)
+			if err != nil {
+				return nil, err
+			}
+			resNC, err := inNC.Run(core.Base)
+			if err != nil {
+				return nil, err
+			}
+			return []float64{float64(len(in.Sites)), float64(len(inNC.Sites)), res.EnergyJ, resNC.EnergyJ}, nil
+		})
+		rows[i] = vals
+		return err
 	})
 	if err != nil {
 		return nil, err
@@ -176,28 +187,31 @@ func (s *Suite) AblationClustering() (*stats.Table, error) {
 		Columns: []string{"LF+DL", "LF+DL-nocluster"},
 	}
 	benches := s.selected(func(b *workloads.Benchmark) bool { return b.Fissionable })
-	rows := make([][2]float64, len(benches))
+	rows := make([][]float64, len(benches))
 	err := s.pool().Map(len(benches), func(i int) error {
 		b := benches[i]
 		cfg := s.configFor(b)
-		orig, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
-		if err != nil {
-			return err
-		}
-		base, err := orig.Run(core.Base)
-		if err != nil {
-			return err
-		}
-		with, err := s.lfdlEnergy(b, cfg, true)
-		if err != nil {
-			return err
-		}
-		without, err := s.lfdlEnergy(b, cfg, false)
-		if err != nil {
-			return err
-		}
-		rows[i] = [2]float64{with / base.EnergyJ, without / base.EnergyJ}
-		return nil
+		vals, err := s.cell(s.cellKey("clustering", &cfg, b.Name), 2, func() ([]float64, error) {
+			orig, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			base, err := orig.Run(core.Base)
+			if err != nil {
+				return nil, err
+			}
+			with, err := s.lfdlEnergy(b, cfg, true)
+			if err != nil {
+				return nil, err
+			}
+			without, err := s.lfdlEnergy(b, cfg, false)
+			if err != nil {
+				return nil, err
+			}
+			return []float64{with / base.EnergyJ, without / base.EnergyJ}, nil
+		})
+		rows[i] = vals
+		return err
 	})
 	if err != nil {
 		return nil, err
@@ -246,38 +260,42 @@ func (s *Suite) AblationOpenLoop() (*stats.Table, error) {
 	benches := s.selected(func(b *workloads.Benchmark) bool {
 		return b.Name != "wupwise" && b.Name != "mgrid" // keep the ablation quick; the others suffice
 	})
-	rows := make([][5]float64, len(benches))
+	rows := make([][]float64, len(benches))
 	err := s.pool().Map(len(benches), func(i int) error {
 		b := benches[i]
-		in, err := s.instance(b)
-		if err != nil {
-			return err
-		}
-		base, err := in.Run(core.Base)
-		if err != nil {
-			return err
-		}
-		openBase, err := in.RunOpen(core.Base)
-		if err != nil {
-			return err
-		}
-		dr, err := in.Run(core.DRPM)
-		if err != nil {
-			return err
-		}
-		openDr, err := in.RunOpen(core.DRPM)
-		if err != nil {
-			return err
-		}
-		openId, err := in.RunOpen(core.IDRPM)
-		if err != nil {
-			return err
-		}
-		rows[i] = [5]float64{
-			dr.EnergyJ / base.EnergyJ, dr.ExecMS / base.ExecMS,
-			openDr.EnergyJ / openBase.EnergyJ, openDr.ExecMS / openBase.ExecMS,
-			openId.EnergyJ / openBase.EnergyJ}
-		return nil
+		cfg := s.configFor(b)
+		vals, err := s.cell(s.cellKey("openloop", &cfg, b.Name), 5, func() ([]float64, error) {
+			in, err := s.instance(b)
+			if err != nil {
+				return nil, err
+			}
+			base, err := in.Run(core.Base)
+			if err != nil {
+				return nil, err
+			}
+			openBase, err := in.RunOpen(core.Base)
+			if err != nil {
+				return nil, err
+			}
+			dr, err := in.Run(core.DRPM)
+			if err != nil {
+				return nil, err
+			}
+			openDr, err := in.RunOpen(core.DRPM)
+			if err != nil {
+				return nil, err
+			}
+			openId, err := in.RunOpen(core.IDRPM)
+			if err != nil {
+				return nil, err
+			}
+			return []float64{
+				dr.EnergyJ / base.EnergyJ, dr.ExecMS / base.ExecMS,
+				openDr.EnergyJ / openBase.EnergyJ, openDr.ExecMS / openBase.ExecMS,
+				openId.EnergyJ / openBase.EnergyJ}, nil
+		})
+		rows[i] = vals
+		return err
 	})
 	if err != nil {
 		return nil, err
@@ -298,29 +316,33 @@ func (s *Suite) AblationSeekModel() (*stats.Table, error) {
 		Columns: []string{"E-avg", "E-dist", "T-avg", "T-dist"},
 	}
 	benches := s.selected(func(b *workloads.Benchmark) bool { return b.Name != "wupwise" })
-	rows := make([][4]float64, len(benches))
+	rows := make([][]float64, len(benches))
 	err := s.pool().Map(len(benches), func(i int) error {
 		b := benches[i]
 		cfg := s.configFor(b)
-		in, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
-		if err != nil {
-			return err
-		}
-		avg, err := in.Run(core.Base)
-		if err != nil {
-			return err
-		}
-		cfg.DistanceAwareSeek = true
-		inD, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
-		if err != nil {
-			return err
-		}
-		dist, err := inD.Run(core.Base)
-		if err != nil {
-			return err
-		}
-		rows[i] = [4]float64{avg.EnergyJ, dist.EnergyJ, avg.ExecMS, dist.ExecMS}
-		return nil
+		vals, err := s.cell(s.cellKey("seekmodel", &cfg, b.Name), 4, func() ([]float64, error) {
+			in, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			avg, err := in.Run(core.Base)
+			if err != nil {
+				return nil, err
+			}
+			cfgD := cfg
+			cfgD.DistanceAwareSeek = true
+			inD, err := s.memo().Prepare(b.Name, b.Program, cfgD, nil)
+			if err != nil {
+				return nil, err
+			}
+			dist, err := inD.Run(core.Base)
+			if err != nil {
+				return nil, err
+			}
+			return []float64{avg.EnergyJ, dist.EnergyJ, avg.ExecMS, dist.ExecMS}, nil
+		})
+		rows[i] = vals
+		return err
 	})
 	if err != nil {
 		return nil, err
@@ -346,33 +368,38 @@ func (s *Suite) EnergyBreakdown() (*stats.Table, error) {
 		},
 		Precision: 1,
 	}
-	rows := make([][6]float64, len(s.Benchmarks))
+	rows := make([][]float64, len(s.Benchmarks))
 	err := s.pool().Map(len(s.Benchmarks), func(i int) error {
-		in, err := s.instance(s.Benchmarks[i])
-		if err != nil {
-			return err
-		}
-		base, err := in.Run(core.Base)
-		if err != nil {
-			return err
-		}
-		cm, err := in.Run(core.CMDRPM)
-		if err != nil {
-			return err
-		}
-		sum := func(r *sim.Result) (a, i, tr, sb float64) {
-			for _, st := range r.Disks {
-				a += st.ActiveEnergyJ
-				i += st.IdleEnergyJ
-				tr += st.TransitionEnergyJ
-				sb += st.StandbyEnergyJ
+		b := s.Benchmarks[i]
+		cfg := s.configFor(b)
+		vals, err := s.cell(s.cellKey("breakdown", &cfg, b.Name), 6, func() ([]float64, error) {
+			in, err := s.instance(b)
+			if err != nil {
+				return nil, err
 			}
-			return
-		}
-		ba, bi, _, _ := sum(base)
-		ca, ci, ct, cs := sum(cm)
-		rows[i] = [6]float64{ba, bi, ca, ci, ct, cs}
-		return nil
+			base, err := in.Run(core.Base)
+			if err != nil {
+				return nil, err
+			}
+			cm, err := in.Run(core.CMDRPM)
+			if err != nil {
+				return nil, err
+			}
+			sum := func(r *sim.Result) (a, i, tr, sb float64) {
+				for _, st := range r.Disks {
+					a += st.ActiveEnergyJ
+					i += st.IdleEnergyJ
+					tr += st.TransitionEnergyJ
+					sb += st.StandbyEnergyJ
+				}
+				return
+			}
+			ba, bi, _, _ := sum(base)
+			ca, ci, ct, cs := sum(cm)
+			return []float64{ba, bi, ca, ci, ct, cs}, nil
+		})
+		rows[i] = vals
+		return err
 	})
 	if err != nil {
 		return nil, err

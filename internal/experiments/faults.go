@@ -41,24 +41,26 @@ func (s *Suite) FaultImpact(benchName string, seed int64) (*stats.Table, *stats.
 		Columns:   cols,
 		Precision: 3,
 	}
-	type cell struct{ energy, exec float64 }
 	ns := len(schemes)
-	cells := make([]cell, len(severities)*ns)
+	cells := make([][]float64, len(severities)*ns)
 	err = s.pool().Map(len(cells), func(i int) error {
 		severity, sc := severities[i/ns], schemes[i%ns]
 		cfg := s.configFor(b)
 		cfg.Faults, _ = faults.Preset(severity)
 		cfg.FaultSeed = seed
-		in, _, err := s.memo().PrepareVersion(b.Name, b.Program, core.VLFDL, cfg)
-		if err != nil {
-			return err
-		}
-		res, err := in.Run(sc)
-		if err != nil {
-			return err
-		}
-		cells[i] = cell{res.EnergyJ, res.ExecMS}
-		return nil
+		vals, err := s.cell(s.cellKey("faultimpact", &cfg, b.Name, severity, string(sc)), 2, func() ([]float64, error) {
+			in, _, err := s.memo().PrepareVersion(b.Name, b.Program, core.VLFDL, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res, err := in.Run(sc)
+			if err != nil {
+				return nil, err
+			}
+			return []float64{res.EnergyJ, res.ExecMS}, nil
+		})
+		cells[i] = vals
+		return err
 	})
 	if err != nil {
 		return nil, nil, err
@@ -71,8 +73,8 @@ func (s *Suite) FaultImpact(benchName string, seed int64) (*stats.Table, *stats.
 		tvals := make([]float64, 0, ns)
 		for ci := range schemes {
 			c := cells[si*ns+ci]
-			evals = append(evals, c.energy/ref.energy)
-			tvals = append(tvals, c.exec/ref.exec)
+			evals = append(evals, c[0]/ref[0])
+			tvals = append(tvals, c[1]/ref[1])
 		}
 		energy.Add(severity, evals...)
 		times.Add(severity, tvals...)

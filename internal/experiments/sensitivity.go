@@ -45,23 +45,25 @@ func (s *Suite) sweep(labels []string, vary func(cfg *core.Config, point int), w
 	}
 	energy := &stats.Table{Columns: cols, Precision: 1}
 	times := &stats.Table{Columns: cols, Precision: 1}
-	type cell struct{ energy, exec float64 }
 	ns := len(schemes)
-	cells := make([]cell, len(labels)*ns)
+	cells := make([][]float64, len(labels)*ns)
 	err = s.pool().Map(len(cells), func(i int) error {
 		point, sc := i/ns, schemes[i%ns]
 		cfg := s.configFor(b)
 		vary(&cfg, point)
-		in, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
-		if err != nil {
-			return err
-		}
-		res, err := in.Run(sc)
-		if err != nil {
-			return wrap(point, sc, err)
-		}
-		cells[i] = cell{res.EnergyJ, res.ExecMS}
-		return nil
+		vals, err := s.cell(s.cellKey("sweep", &cfg, b.Name, labels[point], string(sc)), 2, func() ([]float64, error) {
+			in, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			res, err := in.Run(sc)
+			if err != nil {
+				return nil, wrap(point, sc, err)
+			}
+			return []float64{res.EnergyJ, res.ExecMS}, nil
+		})
+		cells[i] = vals
+		return err
 	})
 	if err != nil {
 		return nil, nil, err
@@ -71,8 +73,8 @@ func (s *Suite) sweep(labels []string, vary func(cfg *core.Config, point int), w
 		tvals := make([]float64, 0, ns)
 		for si := 0; si < ns; si++ {
 			c := cells[p*ns+si]
-			evals = append(evals, c.energy)
-			tvals = append(tvals, c.exec)
+			evals = append(evals, c[0])
+			tvals = append(tvals, c[1])
 		}
 		energy.Add(label, evals...)
 		times.Add(label, tvals...)

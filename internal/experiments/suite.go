@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"sdpm/internal/core"
+	"sdpm/internal/journal"
 	"sdpm/internal/obs"
 	"sdpm/internal/runner"
 	"sdpm/internal/stats"
@@ -59,6 +60,21 @@ type Suite struct {
 	// FaultSeed seeds the fault-sensitivity experiments (FaultImpact);
 	// the base configuration's own fault knobs live in Cfg.Faults.
 	FaultSeed int64
+	// Journal, when non-nil, makes the suite crash-safe: every
+	// completed cell is appended durably (fsynced) before its result
+	// is used, and cells whose key already has a valid record are
+	// served from the journal without recomputation. Cell keys cover
+	// the experiment, benchmark, scheme, and the full configuration
+	// fingerprint (including fault spec and seed), so a journal can
+	// never leak results across configurations. Journaled values
+	// round-trip float64s bit-exactly, keeping resumed output
+	// byte-identical to a cold run at any worker count.
+	Journal *journal.Journal
+	// Retries re-runs a failing or panicking cell up to this many
+	// extra times before the experiment reports its error (see
+	// runner.Pool.WithRetry). Simulation cells are deterministic, so
+	// this only helps transient failures (e.g. memory pressure).
+	Retries int
 
 	cacheOnce sync.Once
 	cache     *core.Cache
@@ -82,11 +98,52 @@ func (s *Suite) memo() *core.Cache {
 	return s.cache
 }
 
-// pool returns a worker pool honoring s.Workers and s.Ctx.
-// Experiments run one at a time, so a fresh pool per experiment keeps
-// the global bound.
+// pool returns a worker pool honoring s.Workers, s.Ctx, and
+// s.Retries. Experiments run one at a time, so a fresh pool per
+// experiment keeps the global bound.
 func (s *Suite) pool() *runner.Pool {
-	return runner.New(s.Workers).Observe(s.Obs).WithContext(s.Ctx)
+	return runner.New(s.Workers).Observe(s.Obs).WithContext(s.Ctx).WithRetry(s.Retries)
+}
+
+// cellKey canonically identifies one experiment cell: the experiment
+// name, its distinguishing parts (benchmark, scheme, sweep point...),
+// and the full configuration fingerprint. Two cells share a key only
+// when they are guaranteed to produce identical values.
+func (s *Suite) cellKey(exp string, cfg *core.Config, parts ...string) string {
+	key := exp
+	if len(parts) > 0 {
+		key += "|" + strings.Join(parts, "|")
+	}
+	return key + "|" + cfg.Fingerprint()
+}
+
+// cell runs one journaled experiment cell: a valid journal record for
+// the key short-circuits the computation (that is what makes -resume
+// skip completed work), otherwise compute runs and its values are
+// appended durably before they are used. n is the cell's value count;
+// a journal record of any other length is treated as a miss. With no
+// journal attached, cell is just compute().
+func (s *Suite) cell(key string, n int, compute func() ([]float64, error)) ([]float64, error) {
+	if s.Journal != nil {
+		if vals, ok := s.Journal.Lookup(key); ok && len(vals) == n {
+			s.Obs.CountJournalHit()
+			return vals, nil
+		}
+	}
+	vals, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) != n {
+		return nil, fmt.Errorf("experiments: cell %q computed %d values, expected %d", key, len(vals), n)
+	}
+	if s.Journal != nil {
+		s.Obs.CountJournalMiss()
+		if err := s.Journal.Append(key, vals); err != nil {
+			return nil, err
+		}
+	}
+	return vals, nil
 }
 
 // configFor specializes the suite configuration for one benchmark.
@@ -146,27 +203,31 @@ func (s *Suite) Table2() (*stats.Table, error) {
 		},
 		Precision: 1,
 	}
-	type row struct{ sites, energy, exec float64 }
-	rows := make([]row, len(s.Benchmarks))
+	rows := make([][]float64, len(s.Benchmarks))
 	err := s.pool().Map(len(s.Benchmarks), func(i int) error {
-		in, err := s.instance(s.Benchmarks[i])
-		if err != nil {
-			return err
-		}
-		res, err := in.Run(core.Base)
-		if err != nil {
-			return err
-		}
-		rows[i] = row{float64(len(in.Sites)), res.EnergyJ, res.ExecMS}
-		return nil
+		b := s.Benchmarks[i]
+		cfg := s.configFor(b)
+		vals, err := s.cell(s.cellKey("table2", &cfg, b.Name), 3, func() ([]float64, error) {
+			in, err := s.instance(b)
+			if err != nil {
+				return nil, err
+			}
+			res, err := in.Run(core.Base)
+			if err != nil {
+				return nil, err
+			}
+			return []float64{float64(len(in.Sites)), res.EnergyJ, res.ExecMS}, nil
+		})
+		rows[i] = vals
+		return err
 	})
 	if err != nil {
 		return nil, err
 	}
 	for i, b := range s.Benchmarks {
 		t.Add(b.Name,
-			float64(b.Program.TotalBytes())/(1<<20), rows[i].sites,
-			rows[i].energy, rows[i].exec,
+			float64(b.Program.TotalBytes())/(1<<20), rows[i][0],
+			rows[i][1], rows[i][2],
 			b.Paper.DataMB, float64(b.Paper.Requests), b.Paper.EnergyJ, b.Paper.ExecMS)
 	}
 	return t, nil
@@ -183,21 +244,24 @@ func (s *Suite) schemeMatrix() (*stats.Table, *stats.Table, error) {
 	}
 	energy := &stats.Table{Title: "Energy (J)", Columns: cols, Precision: 1}
 	times := &stats.Table{Title: "Execution time (ms)", Columns: cols, Precision: 1}
-	type cell struct{ energy, exec float64 }
 	ns := len(schemes)
-	cells := make([]cell, len(s.Benchmarks)*ns)
+	cells := make([][]float64, len(s.Benchmarks)*ns)
 	err := s.pool().Map(len(cells), func(i int) error {
 		b, sc := s.Benchmarks[i/ns], schemes[i%ns]
-		in, err := s.instance(b)
-		if err != nil {
-			return err
-		}
-		res, err := in.Run(sc)
-		if err != nil {
-			return fmt.Errorf("%s/%s: %w", b.Name, sc, err)
-		}
-		cells[i] = cell{res.EnergyJ, res.ExecMS}
-		return nil
+		cfg := s.configFor(b)
+		vals, err := s.cell(s.cellKey("schemematrix", &cfg, b.Name, string(sc)), 2, func() ([]float64, error) {
+			in, err := s.instance(b)
+			if err != nil {
+				return nil, err
+			}
+			res, err := in.Run(sc)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", b.Name, sc, err)
+			}
+			return []float64{res.EnergyJ, res.ExecMS}, nil
+		})
+		cells[i] = vals
+		return err
 	})
 	if err != nil {
 		return nil, nil, err
@@ -207,8 +271,8 @@ func (s *Suite) schemeMatrix() (*stats.Table, *stats.Table, error) {
 		tvals := make([]float64, 0, ns)
 		for si := range schemes {
 			c := cells[bi*ns+si]
-			evals = append(evals, c.energy)
-			tvals = append(tvals, c.exec)
+			evals = append(evals, c[0])
+			tvals = append(tvals, c[1])
 		}
 		energy.Add(b.Name, evals...)
 		times.Add(b.Name, tvals...)
@@ -283,15 +347,23 @@ func (s *Suite) Table3() (*stats.Table, error) {
 	}
 	pcts := make([]float64, len(s.Benchmarks))
 	err := s.pool().Map(len(s.Benchmarks), func(i int) error {
-		in, err := s.instance(s.Benchmarks[i])
+		b := s.Benchmarks[i]
+		cfg := s.configFor(b)
+		vals, err := s.cell(s.cellKey("table3", &cfg, b.Name), 1, func() ([]float64, error) {
+			in, err := s.instance(b)
+			if err != nil {
+				return nil, err
+			}
+			st, err := in.Mispredictions()
+			if err != nil {
+				return nil, err
+			}
+			return []float64{st.Pct}, nil
+		})
 		if err != nil {
 			return err
 		}
-		st, err := in.Mispredictions()
-		if err != nil {
-			return err
-		}
-		pcts[i] = st.Pct
+		pcts[i] = vals[0]
 		return nil
 	})
 	if err != nil {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"sdpm/internal/core"
 	"sdpm/internal/policy"
@@ -45,28 +46,40 @@ func (s *Suite) Figure13() (*stats.Table, error) {
 		b, j := s.Benchmarks[i/perB], i%perB
 		cfg := s.configFor(b)
 		if j == 0 {
-			orig, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
+			vals, err := s.cell(s.cellKey("figure13", &cfg, b.Name, "base"), 1, func() ([]float64, error) {
+				orig, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
+				if err != nil {
+					return nil, err
+				}
+				baseRes, err := orig.Run(core.Base)
+				if err != nil {
+					return nil, err
+				}
+				return []float64{baseRes.EnergyJ}, nil
+			})
 			if err != nil {
 				return err
 			}
-			baseRes, err := orig.Run(core.Base)
-			if err != nil {
-				return err
-			}
-			energies[i] = baseRes.EnergyJ
+			energies[i] = vals[0]
 			return nil
 		}
 		v := versions[(j-1)/len(figure13Schemes)]
 		sc := figure13Schemes[(j-1)%len(figure13Schemes)]
-		in, _, err := s.memo().PrepareVersion(b.Name, b.Program, v, cfg)
+		vals, err := s.cell(s.cellKey("figure13", &cfg, b.Name, string(v), string(sc)), 1, func() ([]float64, error) {
+			in, _, err := s.memo().PrepareVersion(b.Name, b.Program, v, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", b.Name, v, err)
+			}
+			res, err := in.Run(sc)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s/%s: %w", b.Name, v, sc, err)
+			}
+			return []float64{res.EnergyJ}, nil
+		})
 		if err != nil {
-			return fmt.Errorf("%s/%s: %w", b.Name, v, err)
+			return err
 		}
-		res, err := in.Run(sc)
-		if err != nil {
-			return fmt.Errorf("%s/%s/%s: %w", b.Name, v, sc, err)
-		}
-		energies[i] = res.EnergyJ
+		energies[i] = vals[0]
 		return nil
 	})
 	if err != nil {
@@ -98,32 +111,35 @@ func (s *Suite) ExtensionInterchange() (*stats.Table, error) {
 	err := s.pool().Map(len(s.Benchmarks), func(i int) error {
 		b := s.Benchmarks[i]
 		cfg := s.configFor(b)
-		orig, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
-		if err != nil {
-			return err
-		}
-		baseRes, err := orig.Run(core.Base)
-		if err != nil {
-			return err
-		}
-		var vals []float64
-		var icReqs float64
-		for _, v := range []core.Version{core.VOrig, core.VIC, core.VTLDL} {
-			in, _, err := s.memo().PrepareVersion(b.Name, b.Program, v, cfg)
+		cell, err := s.cell(s.cellKey("interchange", &cfg, b.Name), 5, func() ([]float64, error) {
+			orig, err := s.memo().Prepare(b.Name, b.Program, cfg, nil)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			res, err := in.Run(core.CMDRPM)
+			baseRes, err := orig.Run(core.Base)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			vals = append(vals, res.EnergyJ/baseRes.EnergyJ)
-			if v == core.VIC {
-				icReqs = float64(len(in.Sites))
+			var vals []float64
+			var icReqs float64
+			for _, v := range []core.Version{core.VOrig, core.VIC, core.VTLDL} {
+				in, _, err := s.memo().PrepareVersion(b.Name, b.Program, v, cfg)
+				if err != nil {
+					return nil, err
+				}
+				res, err := in.Run(core.CMDRPM)
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, res.EnergyJ/baseRes.EnergyJ)
+				if v == core.VIC {
+					icReqs = float64(len(in.Sites))
+				}
 			}
-		}
-		rows[i] = append(vals, icReqs, float64(len(orig.Sites)))
-		return nil
+			return append(vals, icReqs, float64(len(orig.Sites))), nil
+		})
+		rows[i] = cell
+		return err
 	})
 	if err != nil {
 		return nil, err
@@ -151,57 +167,59 @@ func (s *Suite) ExtensionMultiprogram() (*stats.Table, error) {
 		{"swim", "galgel"},
 		{"swim", "galgel", "mesa"},
 	}
-	type row struct {
-		name string
-		ok   bool
-		vals [3]float64
-	}
-	rows := make([]row, len(combos))
+	// A journal cell encodes the row as [ok, DRPM-E, IDRPM-E, DRPM-T]:
+	// the leading flag distinguishes "combo skipped, benchmark missing"
+	// from a computed row, so a resumed run skips the same rows.
+	rows := make([][]float64, len(combos))
 	err := s.pool().Map(len(combos), func(ci int) error {
-		var traces []*trace.Trace
-		for _, name := range combos[ci] {
-			var b *workloads.Benchmark
-			for _, x := range s.Benchmarks {
-				if x.Name == name {
-					b = x
+		cfg := s.Cfg
+		vals, err := s.cell(s.cellKey("multiprog", &cfg, strings.Join(combos[ci], "+")), 4, func() ([]float64, error) {
+			var traces []*trace.Trace
+			for _, name := range combos[ci] {
+				var b *workloads.Benchmark
+				for _, x := range s.Benchmarks {
+					if x.Name == name {
+						b = x
+					}
 				}
+				if b == nil {
+					return []float64{0, 0, 0, 0}, nil // combo needs a benchmark the suite lacks; skip the row
+				}
+				in, err := s.instance(b)
+				if err != nil {
+					return nil, err
+				}
+				traces = append(traces, in.BaseTrace())
 			}
-			if b == nil {
-				return nil // combo needs a benchmark the suite lacks; skip the row
-			}
-			in, err := s.instance(b)
+			merged, err := trace.MergeOpen(s.Cfg.NumDisks, traces...)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			traces = append(traces, in.BaseTrace())
-		}
-		merged, err := trace.MergeOpen(s.Cfg.NumDisks, traces...)
-		if err != nil {
-			return err
-		}
-		p := s.Cfg.Disk
-		base, err := sim.RunOpenLoop(merged, sim.Config{Disk: p, Policy: policy.NewBase()})
-		if err != nil {
-			return err
-		}
-		dr, err := sim.RunOpenLoop(merged, sim.Config{Disk: p, Policy: policy.NewDRPM(p, s.Cfg.NumDisks)})
-		if err != nil {
-			return err
-		}
-		id, err := sim.RunOpenLoop(merged, sim.Config{Disk: p, Policy: policy.NewIDRPM(p)})
-		if err != nil {
-			return err
-		}
-		rows[ci] = row{merged.Program, true, [3]float64{
-			dr.EnergyJ / base.EnergyJ, id.EnergyJ / base.EnergyJ, dr.ExecMS / base.ExecMS}}
-		return nil
+			p := s.Cfg.Disk
+			base, err := sim.RunOpenLoop(merged, sim.Config{Disk: p, Policy: policy.NewBase()})
+			if err != nil {
+				return nil, err
+			}
+			dr, err := sim.RunOpenLoop(merged, sim.Config{Disk: p, Policy: policy.NewDRPM(p, s.Cfg.NumDisks)})
+			if err != nil {
+				return nil, err
+			}
+			id, err := sim.RunOpenLoop(merged, sim.Config{Disk: p, Policy: policy.NewIDRPM(p)})
+			if err != nil {
+				return nil, err
+			}
+			return []float64{1,
+				dr.EnergyJ / base.EnergyJ, id.EnergyJ / base.EnergyJ, dr.ExecMS / base.ExecMS}, nil
+		})
+		rows[ci] = vals
+		return err
 	})
 	if err != nil {
 		return nil, err
 	}
-	for _, r := range rows {
-		if r.ok {
-			t.Add(r.name, r.vals[0], r.vals[1], r.vals[2])
+	for ci, r := range rows {
+		if r[0] != 0 {
+			t.Add(strings.Join(combos[ci], "+"), r[1], r[2], r[3])
 		}
 	}
 	return t, nil
@@ -226,13 +244,21 @@ func (s *Suite) VersionApplicability() (*stats.Table, error) {
 	cells := make([]float64, len(s.Benchmarks)*nv)
 	err := s.pool().Map(len(cells), func(i int) error {
 		b, v := s.Benchmarks[i/nv], versions[i%nv]
-		_, applied, err := s.memo().PrepareVersion(b.Name, b.Program, v, s.configFor(b))
+		cfg := s.configFor(b)
+		vals, err := s.cell(s.cellKey("applicability", &cfg, b.Name, string(v)), 1, func() ([]float64, error) {
+			_, applied, err := s.memo().PrepareVersion(b.Name, b.Program, v, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if applied {
+				return []float64{1}, nil
+			}
+			return []float64{0}, nil
+		})
 		if err != nil {
 			return err
 		}
-		if applied {
-			cells[i] = 1
-		}
+		cells[i] = vals[0]
 		return nil
 	})
 	if err != nil {

@@ -1,5 +1,7 @@
 package ir
 
+import "fmt"
+
 // Builder provides a fluent API for constructing programs. It is the
 // primary way the built-in workloads and the tests assemble IR.
 type Builder struct {
@@ -80,12 +82,26 @@ func (b *Builder) Build() (*Program, error) {
 	return b.p, nil
 }
 
-// MustBuild is Build but panics on error; intended for the built-in
-// workloads whose construction is exercised by tests.
+// BuildError wraps the validation failure MustBuild panics with, so
+// recovery code can identify and unwrap it.
+type BuildError struct {
+	Program string
+	Err     error
+}
+
+func (e *BuildError) Error() string {
+	return fmt.Sprintf("ir: building program %q: %v", e.Program, e.Err)
+}
+
+func (e *BuildError) Unwrap() error { return e.Err }
+
+// MustBuild is Build but panics with a *BuildError on failure;
+// intended for the built-in workloads whose construction is exercised
+// by tests.
 func (b *Builder) MustBuild() *Program {
 	p, err := b.Build()
 	if err != nil {
-		panic(err)
+		panic(&BuildError{Program: b.p.Name, Err: err})
 	}
 	return p
 }

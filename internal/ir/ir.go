@@ -52,12 +52,29 @@ func (a *Array) Elems() int64 {
 // SizeBytes returns the total size of the array's file in bytes.
 func (a *Array) SizeBytes() int64 { return a.Elems() * a.ElemSize }
 
+// ArityError reports an index vector whose length does not match the
+// array's rank. OffsetOf panics with it — the mismatch is a caller
+// bug, not an input condition — but carrying a typed value lets
+// recovery code (the experiment engine's cell isolation) identify the
+// failure instead of matching on a message string.
+type ArityError struct {
+	Array   string
+	Rank    int
+	Indices int
+}
+
+func (e *ArityError) Error() string {
+	return fmt.Sprintf("ir: array %s has %d dims, got %d indices", e.Array, e.Rank, e.Indices)
+}
+
 // OffsetOf returns the byte offset of the element at the given index
 // vector within the array's file, honoring the storage order and, if
-// set, the blocked layout.
+// set, the blocked layout. An index vector whose length differs from
+// the array's rank is a caller bug: OffsetOf panics with an
+// *ArityError.
 func (a *Array) OffsetOf(idx []int64) int64 {
 	if len(idx) != len(a.Dims) {
-		panic(fmt.Sprintf("ir: array %s has %d dims, got %d indices", a.Name, len(a.Dims), len(idx)))
+		panic(&ArityError{Array: a.Name, Rank: len(a.Dims), Indices: len(idx)})
 	}
 	if a.Block == nil {
 		return a.linearize(idx, a.Dims) * a.ElemSize

@@ -1,0 +1,359 @@
+// Package journal provides a crash-safe, append-only result journal
+// for long experiment sweeps. Each completed cell is one JSONL record
+// protected by a CRC32-C checksum and fsynced before the cell's value
+// is considered durable, so a killed sweep can be resumed with
+// -resume and recomputes only the cells that never made it to disk.
+//
+// On-disk format, one record per line:
+//
+//	<crc32c as 8 lowercase hex digits> <json>\n
+//
+// where <json> is {"k":"<cell key>","v":[<float64 values>]} and the
+// checksum covers exactly the JSON bytes (not the trailing newline).
+// The format is self-validating: a torn tail from a crash (partial
+// line, missing newline, or a record whose checksum does not match)
+// is detected on open and truncated away; corruption in the middle of
+// the file is reported as an error rather than silently skipped.
+//
+// Values are float64 and round-trip through JSON bit-exactly
+// (encoding/json emits the shortest representation that parses back
+// to the same float), which is what makes a resumed run byte-identical
+// to a cold one.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// castagnoli is the CRC32-C polynomial table; Castagnoli has better
+// error-detection properties than IEEE and hardware support on most
+// CPUs.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one journaled cell result.
+type Record struct {
+	Key  string    `json:"k"`
+	Vals []float64 `json:"v"`
+}
+
+// DecodeError describes a record that failed validation.
+type DecodeError struct {
+	Reason string
+}
+
+func (e *DecodeError) Error() string { return "journal: " + e.Reason }
+
+// CorruptError reports corruption that is not a torn tail: a record
+// before the last one failed validation, which truncation cannot
+// explain.
+type CorruptError struct {
+	Path string
+	Line int // 1-based line number of the bad record
+	Err  error
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("journal: %s: corrupt record at line %d: %v", e.Path, e.Line, e.Err)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// EncodeLine renders a record in the on-disk line format, including
+// the trailing newline. It fails if the values cannot round-trip
+// through JSON (NaN or infinity).
+func EncodeLine(r Record) ([]byte, error) {
+	for _, v := range r.Vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, &DecodeError{Reason: "non-finite value cannot be journaled"}
+		}
+	}
+	js, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	line := make([]byte, 0, 8+1+len(js)+1)
+	line = fmt.Appendf(line, "%08x ", crc32.Checksum(js, castagnoli))
+	line = append(line, js...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// DecodeLine parses one line (without the trailing newline). A record
+// whose checksum does not cover its JSON payload, or whose payload is
+// not the canonical record shape, is rejected — never mis-parsed.
+func DecodeLine(line []byte) (Record, error) {
+	if len(line) < 10 || line[8] != ' ' {
+		return Record{}, &DecodeError{Reason: "short or malformed record header"}
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
+		return Record{}, &DecodeError{Reason: "bad checksum field: " + err.Error()}
+	}
+	js := line[9:]
+	if got := crc32.Checksum(js, castagnoli); got != want {
+		return Record{}, &DecodeError{Reason: fmt.Sprintf("checksum mismatch: header %08x, payload %08x", want, got)}
+	}
+	var r Record
+	dec := json.NewDecoder(bytes.NewReader(js))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return Record{}, &DecodeError{Reason: "bad payload: " + err.Error()}
+	}
+	if dec.More() {
+		return Record{}, &DecodeError{Reason: "trailing data after record payload"}
+	}
+	if r.Key == "" {
+		return Record{}, &DecodeError{Reason: "record has empty key"}
+	}
+	return r, nil
+}
+
+// Journal is an open result journal. All methods are safe for
+// concurrent use; Append serializes writers.
+type Journal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	vals map[string][]float64
+
+	recovered int // records kept from a pre-existing file
+	truncated int // bytes of torn tail discarded on open
+}
+
+// Create opens a fresh journal at path, truncating any existing file.
+func Create(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{path: path, f: f, vals: make(map[string][]float64)}, nil
+}
+
+// Open opens the journal at path for resumption, creating it if it
+// does not exist. Every valid record is loaded (the last write for a
+// key wins); a torn tail left by a crash is truncated away. Invalid
+// records that are *not* the tail mean the file was corrupted some
+// other way, and Open fails with a *CorruptError.
+func Open(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{path: path, f: f, vals: make(map[string][]float64)}
+	if err := j.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// recover scans the file, loads valid records, and truncates a torn
+// tail. A record is "the tail" only if nothing valid follows it. A
+// final line without a trailing newline is always treated as torn,
+// even if its bytes happen to validate, because Append writes record
+// and newline together — a missing newline proves a partial write.
+func (j *Journal) recover() error {
+	data, err := os.ReadFile(j.path)
+	if err != nil {
+		return err
+	}
+	var (
+		validEnd int64 // file offset just past the last valid record
+		offset   int64
+		badLine  int   // line number of first invalid record, 0 = none
+		badErr   error // its decode error
+		line     int
+	)
+	for len(data) > 0 {
+		line++
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			// Torn tail: no newline means Append never finished.
+			break
+		}
+		raw := data[:nl]
+		data = data[nl+1:]
+		offset += int64(nl) + 1
+		rec, err := DecodeLine(raw)
+		if err != nil {
+			if badLine == 0 {
+				badLine, badErr = line, err
+			}
+			continue
+		}
+		if badLine != 0 {
+			// A valid record after an invalid one: mid-file corruption.
+			return &CorruptError{Path: j.path, Line: badLine, Err: badErr}
+		}
+		j.vals[rec.Key] = rec.Vals
+		validEnd = offset
+	}
+	size, err := j.f.Seek(0, 2)
+	if err != nil {
+		return err
+	}
+	if size > validEnd {
+		// Torn tail (partial last line, or trailing records that fail
+		// validation): cut it off so Append starts on a clean line.
+		if err := j.f.Truncate(validEnd); err != nil {
+			return err
+		}
+		if _, err := j.f.Seek(validEnd, 0); err != nil {
+			return err
+		}
+		j.truncated = int(size - validEnd)
+	}
+	j.recovered = len(j.vals)
+	return nil
+}
+
+// Append journals one cell result durably: the record is written and
+// fsynced before Append returns, so a crash after Append never loses
+// the cell.
+func (j *Journal) Append(key string, vals []float64) error {
+	line, err := EncodeLine(Record{Key: key, Vals: vals})
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("journal: closed")
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.vals[key] = append([]float64(nil), vals...)
+	return nil
+}
+
+// Lookup returns the journaled values for key, if any.
+func (j *Journal) Lookup(key string) ([]float64, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v, ok := j.vals[key]
+	return v, ok
+}
+
+// Len reports the number of distinct journaled cells.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.vals)
+}
+
+// Recovered reports how many records were loaded from a pre-existing
+// file and how many bytes of torn tail were discarded.
+func (j *Journal) Recovered() (records, truncatedBytes int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.recovered, j.truncated
+}
+
+// Close releases the file without compacting.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// Finalize compacts the journal after a fully successful run: records
+// are rewritten (deduplicated, in sorted key order) to <path>.tmp,
+// fsynced, and atomically renamed over the journal, so the finalized
+// file is either the complete old journal or the complete new one —
+// never a mix. The journal is closed afterwards.
+func (j *Journal) Finalize() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("journal: closed")
+	}
+	keys := make([]string, 0, len(j.vals))
+	for k := range j.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	tmp := j.path + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(tf)
+	for _, k := range keys {
+		line, err := EncodeLine(Record{Key: k, Vals: j.vals[k]})
+		if err != nil {
+			tf.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if _, err := w.Write(line); err != nil {
+			tf.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(filepath.Dir(j.path))
+	err = j.f.Close()
+	j.f = nil
+	return err
+}
+
+// Keys returns the journaled cell keys in sorted order.
+func (j *Journal) Keys() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	keys := make([]string, 0, len(j.vals))
+	for k := range j.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// syncDir makes a rename durable on filesystems that require the
+// directory entry itself to be synced; failures are ignored because
+// not every platform or filesystem supports fsync on directories.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

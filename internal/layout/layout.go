@@ -92,6 +92,16 @@ func (e *SubsystemSizeError) Error() string {
 	return fmt.Sprintf("layout: subsystem needs at least one disk, got %d", e.NumDisks)
 }
 
+// NotPlacedError reports a lookup of a file that was never placed on
+// the subsystem.
+type NotPlacedError struct {
+	File string
+}
+
+func (e *NotPlacedError) Error() string {
+	return fmt.Sprintf("layout: file %q not placed", e.File)
+}
+
 // NewSubsystem returns an empty subsystem with the given number of
 // disks (I/O nodes). A non-positive disk count yields a
 // *SubsystemSizeError.
@@ -183,7 +193,7 @@ func (s *Subsystem) DisksOf(name string) []int {
 func (s *Subsystem) DiskOf(name string, off int64) (int, error) {
 	st, ok := s.stripings[name]
 	if !ok {
-		return 0, fmt.Errorf("layout: file %q not placed", name)
+		return 0, &NotPlacedError{File: name}
 	}
 	if off < 0 || off >= s.sizes[name] {
 		return 0, fmt.Errorf("layout: file %q: offset %d out of range [0,%d)", name, off, s.sizes[name])
@@ -197,7 +207,7 @@ func (s *Subsystem) DiskOf(name string, off int64) (int, error) {
 func (s *Subsystem) UnitOf(name string, off int64) (int64, error) {
 	st, ok := s.stripings[name]
 	if !ok {
-		return 0, fmt.Errorf("layout: file %q not placed", name)
+		return 0, &NotPlacedError{File: name}
 	}
 	return st.UnitOf(off), nil
 }
@@ -208,7 +218,7 @@ func (s *Subsystem) UnitOf(name string, off int64) (int64, error) {
 func (s *Subsystem) Map(name string, off, n int64) ([]Extent, error) {
 	st, ok := s.stripings[name]
 	if !ok {
-		return nil, fmt.Errorf("layout: file %q not placed", name)
+		return nil, &NotPlacedError{File: name}
 	}
 	size := s.sizes[name]
 	if off < 0 || n <= 0 || off+n > size {
@@ -251,7 +261,7 @@ func (s *Subsystem) Map(name string, off, n int64) ([]Extent, error) {
 func (s *Subsystem) MapUnit(name string, u int64) (Extent, error) {
 	st, ok := s.stripings[name]
 	if !ok {
-		return Extent{}, fmt.Errorf("layout: file %q not placed", name)
+		return Extent{}, &NotPlacedError{File: name}
 	}
 	size := s.sizes[name]
 	off := u * st.UnitBytes

@@ -226,6 +226,12 @@ type Collector struct {
 	runnerActive atomic.Int64
 	runnerQueue  atomic.Int64
 
+	cellPanics  atomic.Int64
+	cellRetries atomic.Int64
+
+	journalHits   atomic.Int64
+	journalMisses atomic.Int64
+
 	mu    sync.Mutex // serializes EnsureDisks growth
 	disks atomic.Pointer[[]*diskMetrics]
 }
@@ -462,4 +468,54 @@ func (c *Collector) RunnerStats() (tasks, busyNS, active, queued int64) {
 		return 0, 0, 0, 0
 	}
 	return c.runnerTasks.Load(), c.runnerBusyNS.Load(), c.runnerActive.Load(), c.runnerQueue.Load()
+}
+
+// CountCellPanic records a worker-pool cell recovered from a panic.
+func (c *Collector) CountCellPanic() {
+	if c == nil {
+		return
+	}
+	c.cellPanics.Add(1)
+}
+
+// CountCellRetry records one retry of a failing worker-pool cell.
+func (c *Collector) CountCellRetry() {
+	if c == nil {
+		return
+	}
+	c.cellRetries.Add(1)
+}
+
+// CellStats returns the (recovered panics, retries) cell counts.
+func (c *Collector) CellStats() (panics, retries int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.cellPanics.Load(), c.cellRetries.Load()
+}
+
+// CountJournalHit records an experiment cell served from the result
+// journal (its simulation was skipped on resume).
+func (c *Collector) CountJournalHit() {
+	if c == nil {
+		return
+	}
+	c.journalHits.Add(1)
+}
+
+// CountJournalMiss records an experiment cell that was computed and
+// appended to the result journal.
+func (c *Collector) CountJournalMiss() {
+	if c == nil {
+		return
+	}
+	c.journalMisses.Add(1)
+}
+
+// JournalStats returns the (hits, misses) journal cell counts.
+func (c *Collector) JournalStats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.journalHits.Load(), c.journalMisses.Load()
 }

@@ -70,6 +70,11 @@ func WritePrometheus(w io.Writer, c *Collector) error {
 		fmt.Fprintf(bw, "sdpm_runner_busy_seconds_total %s\n", fmtFloat(float64(c.runnerBusyNS.Load())/1e9))
 		writeGauge(bw, "sdpm_runner_workers_active", "Workers currently executing a cell.", c.runnerActive.Load())
 		writeGauge(bw, "sdpm_runner_queue_depth", "Cells claimed by no worker yet.", c.runnerQueue.Load())
+		writeCounter(bw, "sdpm_runner_cell_panics_total", "Worker-pool cells recovered from a panic (reported as CellError).", c.cellPanics.Load())
+		writeCounter(bw, "sdpm_runner_cell_retries_total", "Retries of failing worker-pool cells.", c.cellRetries.Load())
+
+		writeCounter(bw, "sdpm_journal_hits_total", "Experiment cells served from the result journal on resume.", c.journalHits.Load())
+		writeCounter(bw, "sdpm_journal_misses_total", "Experiment cells computed and appended to the result journal.", c.journalMisses.Load())
 	}
 	return bw.Flush()
 }

@@ -34,8 +34,10 @@ func DefaultOptions() Options {
 	return Options{MaxArrays: 5, MaxNests: 4, MaxDim: 64, MaxStmtsPerNest: 3, AllowBlocked: true}
 }
 
-// Generate builds a random valid program from the rng.
-func Generate(rng *rand.Rand, opts Options) *ir.Program {
+// Generate builds a random valid program from the rng. A generator
+// bug that produces a non-validating program surfaces as an error
+// wrapping the validation failure rather than a panic.
+func Generate(rng *rand.Rand, opts Options) (*ir.Program, error) {
 	if opts.MaxArrays < 1 {
 		opts.MaxArrays = 1
 	}
@@ -58,7 +60,17 @@ func Generate(rng *rand.Rand, opts Options) *ir.Program {
 		p.Nests = append(p.Nests, genNest(rng, i, p.Arrays, opts))
 	}
 	if err := p.Validate(); err != nil {
-		panic(fmt.Sprintf("progen: generated invalid program: %v", err))
+		return nil, fmt.Errorf("progen: generated invalid program: %w", err)
+	}
+	return p, nil
+}
+
+// MustGenerate is Generate for the differential tests, which seed the
+// generator with known-good bounds; it panics on a generator bug.
+func MustGenerate(rng *rand.Rand, opts Options) *ir.Program {
+	p, err := Generate(rng, opts)
+	if err != nil {
+		panic(err)
 	}
 	return p
 }

@@ -8,7 +8,7 @@ import (
 func TestGenerateAlwaysValid(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 200; trial++ {
-		p := Generate(rng, DefaultOptions())
+		p := MustGenerate(rng, DefaultOptions())
 		if err := p.Validate(); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -22,7 +22,7 @@ func TestGenerateInBounds(t *testing.T) {
 	// Every reference stays within its array for every iteration.
 	rng := rand.New(rand.NewSource(2))
 	for trial := 0; trial < 60; trial++ {
-		p := Generate(rng, DefaultOptions())
+		p := MustGenerate(rng, DefaultOptions())
 		for _, n := range p.Nests {
 			trips := n.Trips()
 			if trips > 4096 {
@@ -48,8 +48,8 @@ func TestGenerateInBounds(t *testing.T) {
 }
 
 func TestGenerateDeterministic(t *testing.T) {
-	a := Generate(rand.New(rand.NewSource(7)), DefaultOptions())
-	b := Generate(rand.New(rand.NewSource(7)), DefaultOptions())
+	a := MustGenerate(rand.New(rand.NewSource(7)), DefaultOptions())
+	b := MustGenerate(rand.New(rand.NewSource(7)), DefaultOptions())
 	if a.Name != b.Name || len(a.Arrays) != len(b.Arrays) || len(a.Nests) != len(b.Nests) {
 		t.Error("same seed produced different programs")
 	}
@@ -60,7 +60,7 @@ func TestGenerateDeterministic(t *testing.T) {
 
 func TestGenerateBoundsClamped(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	p := Generate(rng, Options{}) // all-zero options must be clamped
+	p := MustGenerate(rng, Options{}) // all-zero options must be clamped
 	if err := p.Validate(); err != nil {
 		t.Fatal(err)
 	}

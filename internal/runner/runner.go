@@ -21,13 +21,31 @@ package runner
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sdpm/internal/obs"
 )
+
+// CellError converts a panicking cell into an ordinary cell failure:
+// the panic is recovered inside the worker, wrapped with the cell's
+// index and stack, and reported through Map's normal lowest-index
+// error path. One bad cell therefore degrades that cell instead of
+// crashing the whole sweep, and already-completed cells (for example,
+// cells journaled by the experiment engine) keep their results.
+type CellError struct {
+	Index int    // the Map index that panicked
+	Value any    // the recovered panic value
+	Stack []byte // stack captured at the recovery point
+}
+
+func (e *CellError) Error() string {
+	return fmt.Sprintf("runner: cell %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
 
 // Pool is a bounded worker pool. The zero value is not useful; use
 // New. A nil *Pool runs everything sequentially on the caller.
@@ -44,6 +62,9 @@ type Pool struct {
 	// ctx, when non-nil, cancels Map early: in-flight cells finish,
 	// unclaimed cells are skipped (see WithContext).
 	ctx context.Context
+	// retries, when positive, re-runs a failing cell up to that many
+	// extra times before recording its error (see WithRetry).
+	retries int
 }
 
 // New returns a pool bounded at the given number of workers.
@@ -83,6 +104,23 @@ func (p *Pool) WithContext(ctx context.Context) *Pool {
 	return &q
 }
 
+// WithRetry returns a pool view whose Map calls re-run a failing cell
+// up to n extra times before recording its error. Retries cover both
+// returned errors and recovered panics; they are intended for cells
+// with transient failure modes (a flaky external resource, an
+// allocation spike) — a deterministic simulation cell that fails will
+// simply fail n+1 times and report its last error. The view shares
+// the receiver's helper bound, collector, and context. n <= 0 (or a
+// nil pool) returns the receiver unchanged.
+func (p *Pool) WithRetry(n int) *Pool {
+	if p == nil || n <= 0 {
+		return p
+	}
+	q := *p
+	q.retries = n
+	return &q
+}
+
 // Workers returns the pool's worker bound (1 for a nil pool).
 func (p *Pool) Workers() int {
 	if p == nil {
@@ -95,19 +133,24 @@ func (p *Pool) Workers() int {
 // plus up to Workers()-1 helper goroutines. All cells run even when
 // some fail; the returned error is the one with the lowest index
 // (exactly what a sequential loop over [0, n) would return first).
-// When the pool carries a context (WithContext) and it is canceled,
-// workers stop claiming cells, in-flight cells finish, and Map
-// returns the lowest-index cell error if one occurred before the
-// cancellation point, or the context's error otherwise.
+// A panicking cell is recovered and reported as a *CellError carrying
+// the index, panic value, and stack — it fails like any other cell,
+// and every other cell still runs to completion. When the pool
+// carries a context (WithContext) and it is canceled, workers stop
+// claiming cells, in-flight cells finish, and Map returns the
+// lowest-index cell error if one occurred before the cancellation
+// point, or the context's error otherwise.
 func (p *Pool) Map(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	var c *obs.Collector
 	var ctx context.Context
+	retries := 0
 	if p != nil {
 		c = p.obs
 		ctx = p.ctx
+		retries = p.retries
 	}
 	canceled := func() error {
 		if ctx != nil {
@@ -115,13 +158,35 @@ func (p *Pool) Map(n int, fn func(i int) error) error {
 		}
 		return nil
 	}
-	run := fn
+	// base runs one attempt of one cell with panic isolation.
+	base := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				c.CountCellPanic()
+				err = &CellError{Index: i, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		return fn(i)
+	}
+	// exec adds the bounded retry policy on top of an attempt.
+	exec := base
+	if retries > 0 {
+		exec = func(i int) error {
+			err := base(i)
+			for r := 0; r < retries && err != nil && canceled() == nil; r++ {
+				c.CountCellRetry()
+				err = base(i)
+			}
+			return err
+		}
+	}
+	run := exec
 	if c != nil {
 		c.RunnerQueue(int64(n))
 		run = func(i int) error {
 			c.RunnerQueue(-1)
 			t0 := time.Now()
-			err := fn(i)
+			err := exec(i)
 			c.RunnerTask(time.Since(t0).Nanoseconds())
 			return err
 		}

@@ -100,6 +100,92 @@ func TestConcurrencyBound(t *testing.T) {
 	}
 }
 
+func TestPanickingCellBecomesCellError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		n := 40
+		done := make([]bool, n)
+		err := p.Map(n, func(i int) error {
+			if i == 13 {
+				panic("boom in cell 13")
+			}
+			done[i] = true
+			return nil
+		})
+		var ce *CellError
+		if !errors.As(err, &ce) {
+			t.Fatalf("workers=%d: err = %v, want *CellError", workers, err)
+		}
+		if ce.Index != 13 || ce.Value != "boom in cell 13" || len(ce.Stack) == 0 {
+			t.Fatalf("workers=%d: CellError = {%d %v stack:%d}", workers, ce.Index, ce.Value, len(ce.Stack))
+		}
+		// Isolation: with workers>1 every other cell still completed.
+		if workers > 1 {
+			for i, d := range done {
+				if i != 13 && !d {
+					t.Fatalf("workers=%d: cell %d did not complete", workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestNilPoolRecoversPanics(t *testing.T) {
+	var p *Pool
+	err := p.Map(3, func(i int) error {
+		if i == 1 {
+			panic(errors.New("wrapped"))
+		}
+		return nil
+	})
+	var ce *CellError
+	if !errors.As(err, &ce) || ce.Index != 1 {
+		t.Fatalf("err = %v, want *CellError{Index:1}", err)
+	}
+}
+
+func TestWithRetryBoundedAndRecovers(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := New(workers).WithRetry(2)
+		var attempts [5]atomic.Int64
+		// Cells fail (by error or panic) on their first two attempts
+		// and succeed on the third — within the retry budget.
+		err := p.Map(5, func(i int) error {
+			a := attempts[i].Add(1)
+			if a <= 2 {
+				if i%2 == 0 {
+					return fmt.Errorf("transient %d/%d", i, a)
+				}
+				panic(fmt.Sprintf("transient panic %d/%d", i, a))
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range attempts {
+			if got := attempts[i].Load(); got != 3 {
+				t.Fatalf("workers=%d: cell %d ran %d attempts, want 3", workers, i, got)
+			}
+		}
+	}
+	// A deterministic failure exhausts the budget and surfaces.
+	p := New(2).WithRetry(3)
+	var count atomic.Int64
+	err := p.Map(1, func(i int) error {
+		count.Add(1)
+		return errors.New("always")
+	})
+	if err == nil || count.Load() != 4 {
+		t.Fatalf("attempts=%d err=%v, want 4 attempts and an error", count.Load(), err)
+	}
+	// WithRetry(0) must not allocate a view.
+	base := New(2)
+	if base.WithRetry(0) != base {
+		t.Fatal("WithRetry(0) returned a new pool")
+	}
+}
+
 func TestNestedMapDoesNotDeadlock(t *testing.T) {
 	p := New(2)
 	var total atomic.Int64

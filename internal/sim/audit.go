@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sdpm/internal/disk"
+)
+
+// Violation is one failed conservation-audit invariant.
+type Violation struct {
+	// Disk is the violating disk index, or -1 for a run-level check.
+	Disk int
+	// Invariant names the check that failed.
+	Invariant string
+	// Detail quantifies the failure.
+	Detail string
+}
+
+// AuditError is the structured report of a failed conservation audit:
+// the simulator produced a result that breaks physics invariants the
+// model must satisfy, so the result cannot be trusted. It is returned
+// by Run/RunOpenLoop under Config.Audit and by Audit directly.
+type AuditError struct {
+	Program    string
+	Scheme     string
+	Violations []Violation
+}
+
+func (e *AuditError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: audit failed: %s/%s: %d violation(s)", e.Program, e.Scheme, len(e.Violations))
+	for _, v := range e.Violations {
+		b.WriteString("\n  ")
+		if v.Disk >= 0 {
+			fmt.Fprintf(&b, "disk %d: ", v.Disk)
+		}
+		fmt.Fprintf(&b, "%s: %s", v.Invariant, v.Detail)
+	}
+	return b.String()
+}
+
+// auditTol is the audit's relative tolerance. The audited identities
+// hold exactly up to floating-point reassociation (the same
+// increments are summed in a different order), so the tolerance only
+// needs to absorb rounding noise, not modeling slack.
+const auditTol = 1e-6
+
+func auditClose(a, b float64) bool {
+	tol := auditTol * math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol
+}
+
+type auditor struct {
+	viol []Violation
+}
+
+func (a *auditor) fail(d int, invariant, format string, args ...any) {
+	a.viol = append(a.viol, Violation{Disk: d, Invariant: invariant, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Audit checks the conservation invariants of one simulation result:
+//
+//   - all per-disk times, energies, and counters are non-negative;
+//   - per-disk residency (active + idle + standby + transition) sums
+//     to the run's execution time;
+//   - the per-mode energy breakdown sums to the disk's total energy,
+//     standby energy equals standby power x standby time, and idle and
+//     active energies lie within the power envelope of the disk's RPM
+//     levels;
+//   - RPM residency sums to the disk's spinning (active + idle) time;
+//   - run totals (energy, requests, wait) aggregate the disks;
+//   - fault counters are zero when no fault plan was attached, and
+//     internally consistent when one was;
+//   - when a timeline is available (Config.Audit records one), the
+//     timeline is contiguous from 0 to ExecMS, its power integral
+//     reproduces the disk's energy exactly — so a fault cascade (or
+//     anything else) charged twice to the stats but once to the
+//     timeline is caught — and every observed state transition is
+//     legal for the disk state machine.
+//
+// A nil return means every invariant held. faultsOn tells the audit
+// whether a fault plan was attached (fault counters must be zero
+// otherwise).
+func Audit(res *Result, p disk.Params, faultsOn bool) *AuditError {
+	a := &auditor{}
+	sumEnergy, sumWait := 0.0, 0.0
+	sumRequests := 0
+	if res.ExecMS < 0 {
+		a.fail(-1, "non-negative-exec", "ExecMS = %g", res.ExecMS)
+	}
+	minIdleW, maxIdleW := powerEnvelope(p, p.IdlePowerAt)
+	minActW, maxActW := powerEnvelope(p, p.ActivePowerAt)
+	for d := range res.Disks {
+		s := &res.Disks[d]
+		a.auditNonNegative(d, s)
+		// Residency conservation: the four states partition [0, ExecMS].
+		total := s.ActiveMS + s.IdleMS + s.StandbyMS + s.TransitionMS
+		if !auditClose(total, res.ExecMS) {
+			a.fail(d, "time-conservation", "active+idle+standby+transition = %g ms, ExecMS = %g ms", total, res.ExecMS)
+		}
+		// Energy conservation: the per-mode breakdown is the total.
+		brk := s.ActiveEnergyJ + s.IdleEnergyJ + s.StandbyEnergyJ + s.TransitionEnergyJ
+		if !auditClose(brk, s.EnergyJ) {
+			a.fail(d, "energy-breakdown", "mode sum = %g J, EnergyJ = %g J", brk, s.EnergyJ)
+		}
+		// Standby draws one constant power; its energy is closed-form.
+		if want := p.StandbyW * s.StandbyMS / 1e3; !auditClose(s.StandbyEnergyJ, want) {
+			a.fail(d, "standby-energy", "StandbyEnergyJ = %g J, StandbyW x StandbyMS = %g J", s.StandbyEnergyJ, want)
+		}
+		// Idle/active energy must lie inside the RPM power envelope.
+		if lo, hi := minIdleW*s.IdleMS/1e3, maxIdleW*s.IdleMS/1e3; !withinEnvelope(s.IdleEnergyJ, lo, hi) {
+			a.fail(d, "idle-power-envelope", "IdleEnergyJ = %g J outside [%g, %g] J for %g idle ms", s.IdleEnergyJ, lo, hi, s.IdleMS)
+		}
+		if lo, hi := minActW*s.ActiveMS/1e3, maxActW*s.ActiveMS/1e3; !withinEnvelope(s.ActiveEnergyJ, lo, hi) {
+			a.fail(d, "active-power-envelope", "ActiveEnergyJ = %g J outside [%g, %g] J for %g active ms", s.ActiveEnergyJ, lo, hi, s.ActiveMS)
+		}
+		// RPM residency covers exactly the spinning time.
+		resid := 0.0
+		for _, ms := range s.RPMResidencyMS {
+			resid += ms
+		}
+		if spin := s.ActiveMS + s.IdleMS; !auditClose(resid, spin) {
+			a.fail(d, "rpm-residency", "sum RPMResidencyMS = %g ms, active+idle = %g ms", resid, spin)
+		}
+		a.auditFaultCounters(d, s, faultsOn)
+		sumEnergy += s.EnergyJ
+		sumWait += s.WaitMS
+		sumRequests += s.Requests
+	}
+	// Run-level aggregation.
+	if !auditClose(sumEnergy, res.EnergyJ) {
+		a.fail(-1, "run-energy", "sum disk EnergyJ = %g J, Result.EnergyJ = %g J", sumEnergy, res.EnergyJ)
+	}
+	if sumRequests != res.Requests {
+		a.fail(-1, "run-requests", "sum disk Requests = %d, Result.Requests = %d", sumRequests, res.Requests)
+	}
+	// Closed-loop wait equals the disk sum; open-loop replay adds FIFO
+	// queueing on top, so the disk sum is a lower bound.
+	if sumWait > res.TotalWaitMS+auditTol*math.Max(1, sumWait) {
+		a.fail(-1, "run-wait", "sum disk WaitMS = %g ms exceeds TotalWaitMS = %g ms", sumWait, res.TotalWaitMS)
+	}
+	// Idle periods are forward-running spans.
+	for d := range res.Idles {
+		for i, ip := range res.Idles[d] {
+			if ip.LenMS < -auditTol || ip.StartMS < -auditTol {
+				a.fail(d, "idle-period", "idle period %d is [%g, +%g] ms", i, ip.StartMS, ip.LenMS)
+				break
+			}
+		}
+	}
+	for d := range res.Timelines {
+		if d < len(res.Disks) {
+			a.auditTimeline(d, res.Timelines[d], res.ExecMS, res.Disks[d].EnergyJ)
+		}
+	}
+	if len(a.viol) == 0 {
+		return nil
+	}
+	return &AuditError{Program: res.Program, Scheme: res.Scheme, Violations: a.viol}
+}
+
+func (a *auditor) auditNonNegative(d int, s *DiskStats) {
+	checks := []struct {
+		name string
+		v    float64
+	}{
+		{"EnergyJ", s.EnergyJ}, {"ActiveMS", s.ActiveMS}, {"IdleMS", s.IdleMS},
+		{"StandbyMS", s.StandbyMS}, {"TransitionMS", s.TransitionMS},
+		{"ActiveEnergyJ", s.ActiveEnergyJ}, {"IdleEnergyJ", s.IdleEnergyJ},
+		{"StandbyEnergyJ", s.StandbyEnergyJ}, {"TransitionEnergyJ", s.TransitionEnergyJ},
+		{"WaitMS", s.WaitMS}, {"DegradedExtraMS", s.DegradedExtraMS},
+		{"Requests", float64(s.Requests)}, {"SpinDowns", float64(s.SpinDowns)},
+		{"SpinUps", float64(s.SpinUps)}, {"RPMShifts", float64(s.RPMShifts)},
+		{"SpinUpFailures", float64(s.SpinUpFailures)}, {"SpinUpRetries", float64(s.SpinUpRetries)},
+		{"SpinUpTimeouts", float64(s.SpinUpTimeouts)}, {"Fallbacks", float64(s.Fallbacks)},
+		{"RemapHits", float64(s.RemapHits)}, {"DegradedHits", float64(s.DegradedHits)},
+	}
+	for _, c := range checks {
+		if c.v < 0 {
+			a.fail(d, "non-negative", "%s = %g", c.name, c.v)
+		}
+	}
+	for rpm, ms := range s.RPMResidencyMS {
+		if ms < 0 {
+			a.fail(d, "non-negative", "RPMResidencyMS[%d] = %g", rpm, ms)
+		}
+	}
+}
+
+func (a *auditor) auditFaultCounters(d int, s *DiskStats, faultsOn bool) {
+	if !faultsOn {
+		if s.SpinUpFailures != 0 || s.SpinUpRetries != 0 || s.SpinUpTimeouts != 0 ||
+			s.Fallbacks != 0 || s.RemapHits != 0 || s.DegradedHits != 0 || s.DegradedExtraMS != 0 {
+			a.fail(d, "fault-free", "fault counters nonzero without a fault plan: failures=%d retries=%d timeouts=%d fallbacks=%d remaps=%d degraded=%d extra=%gms",
+				s.SpinUpFailures, s.SpinUpRetries, s.SpinUpTimeouts, s.Fallbacks, s.RemapHits, s.DegradedHits, s.DegradedExtraMS)
+		}
+		return
+	}
+	// Every retry backs off after a failed attempt, and every timeout
+	// abandons a cascade that failed at least once.
+	if s.SpinUpRetries > s.SpinUpFailures {
+		a.fail(d, "fault-counters", "SpinUpRetries = %d exceeds SpinUpFailures = %d", s.SpinUpRetries, s.SpinUpFailures)
+	}
+	if s.SpinUpTimeouts > s.SpinUpFailures {
+		a.fail(d, "fault-counters", "SpinUpTimeouts = %d exceeds SpinUpFailures = %d", s.SpinUpTimeouts, s.SpinUpFailures)
+	}
+	if s.DegradedHits == 0 && s.DegradedExtraMS != 0 {
+		a.fail(d, "fault-counters", "DegradedExtraMS = %g ms with zero DegradedHits", s.DegradedExtraMS)
+	}
+}
+
+// legalNext is the disk state machine's allowed-successor table for
+// *observed* timeline transitions. Zero-length states are elided from
+// the timeline (record drops empty segments), so the table includes
+// one-step shortcuts across an elided state: spindown->spinup skips a
+// zero-length standby, spinup->spinup separates two back-to-back
+// cascades, rpmshift->spindown skips a zero-length spinning gap.
+// Same-state successions (idle->service, shift->shift) are always
+// legal: adjacent segments merge only when RPM, power, and the active
+// flag all match.
+var legalNext = map[Status][]Status{
+	StSpinning: {StSpinning, StDown, StShift},
+	StDown:     {StStandby, StUp},
+	StStandby:  {StUp},
+	StUp:       {StSpinning, StStandby, StUp},
+	StShift:    {StSpinning, StShift, StDown},
+}
+
+func (a *auditor) auditTimeline(d int, tl []Segment, execMS, energyJ float64) {
+	if len(tl) == 0 {
+		if execMS > auditTol {
+			a.fail(d, "timeline-coverage", "empty timeline for ExecMS = %g ms", execMS)
+		}
+		return
+	}
+	if !auditClose(tl[0].StartMS, 0) {
+		a.fail(d, "timeline-coverage", "first segment starts at %g ms, want 0", tl[0].StartMS)
+	}
+	if !auditClose(tl[len(tl)-1].EndMS, execMS) {
+		a.fail(d, "timeline-coverage", "last segment ends at %g ms, ExecMS = %g ms", tl[len(tl)-1].EndMS, execMS)
+	}
+	integral := 0.0
+	for i := range tl {
+		seg := &tl[i]
+		if seg.EndMS <= seg.StartMS {
+			a.fail(d, "timeline-order", "segment %d is empty or reversed: [%g, %g]", i, seg.StartMS, seg.EndMS)
+		}
+		if seg.PowerW < 0 {
+			a.fail(d, "timeline-power", "segment %d has negative power %g W", i, seg.PowerW)
+		}
+		if seg.Active && seg.Stat != StSpinning {
+			a.fail(d, "timeline-active", "segment %d active in state %s", i, seg.Stat)
+		}
+		integral += seg.PowerW * (seg.EndMS - seg.StartMS) / 1e3
+		if i == 0 {
+			continue
+		}
+		prev := &tl[i-1]
+		if !auditClose(prev.EndMS, seg.StartMS) {
+			a.fail(d, "timeline-contiguity", "gap between segment %d end %g ms and segment %d start %g ms", i-1, prev.EndMS, i, seg.StartMS)
+		}
+		if !transitionLegal(prev.Stat, seg.Stat) {
+			a.fail(d, "transition-legality", "segment %d: %s -> %s", i, prev.Stat, seg.Stat)
+		}
+	}
+	// The timeline records the same piecewise-constant power the energy
+	// accumulators integrate, so the two must agree exactly. Energy
+	// charged twice to the stats but once to the timeline (or vice
+	// versa) — e.g. a double-charged fault cascade — lands here.
+	if !auditClose(integral, energyJ) {
+		a.fail(d, "timeline-energy", "timeline power integral = %g J, EnergyJ = %g J", integral, energyJ)
+	}
+}
+
+func transitionLegal(from, to Status) bool {
+	if from == to {
+		return true
+	}
+	for _, s := range legalNext[from] {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// powerEnvelope returns the min and max of a per-RPM power curve over
+// the disk's level grid.
+func powerEnvelope(p disk.Params, powerAt func(int) float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i := 0; i < p.NumLevels(); i++ {
+		w := powerAt(p.MinRPM + i*p.RPMStep)
+		lo = math.Min(lo, w)
+		hi = math.Max(hi, w)
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 0, 0
+	}
+	return lo, hi
+}
+
+// withinEnvelope checks lo <= v <= hi with the audit tolerance.
+func withinEnvelope(v, lo, hi float64) bool {
+	tol := auditTol * math.Max(1, math.Max(math.Abs(lo), math.Abs(hi)))
+	return v >= lo-tol && v <= hi+tol
+}

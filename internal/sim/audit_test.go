@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"sdpm/internal/disk"
+	"sdpm/internal/faults"
+	"sdpm/internal/trace"
+)
+
+// auditTrace exercises every state-machine edge the audit checks:
+// spin-downs, on-demand and explicit spin-ups, RPM shifts, and
+// requests on multiple disks.
+func auditTrace() *trace.Trace {
+	return mkTrace(2,
+		req(10, 0, 65536),
+		op(5, 0, trace.OpSetRPM, 6000),
+		req(400, 0, 32768),
+		op(0, 0, trace.OpSpinDown, 0),
+		req(20000, 0, 65536), // on-demand spin-up
+		op(10, 1, trace.OpSpinDown, 0),
+		op(15000, 1, trace.OpSpinUp, 0), // pre-activation
+		req(6000, 1, 65536),
+		req(100, 0, 16384),
+	)
+}
+
+func TestAuditPassesCleanRuns(t *testing.T) {
+	p := disk.DefaultParams()
+	tr := auditTrace()
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"fault-free", Config{Disk: p, Audit: true}},
+		{"fault-free/timeline", Config{Disk: p, Audit: true, RecordTimeline: true}},
+		{"forced-cascade", Config{Disk: p, Audit: true,
+			Faults: plan(t, 7, 2, faults.Config{SpinUpFailProb: 1, MaxRetries: 2, RetryBackoffMS: 100})}},
+		{"distance-seek", Config{Disk: p, Audit: true, DistanceAwareSeek: true}},
+	}
+	for _, tc := range cases {
+		res, err := Run(tr, tc.cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		// The audit's internal timeline must not leak into the result
+		// unless the caller asked for it.
+		if tc.cfg.RecordTimeline && len(res.Timelines) == 0 {
+			t.Fatalf("%s: RecordTimeline produced no timelines", tc.name)
+		}
+		if !tc.cfg.RecordTimeline && res.Timelines != nil {
+			t.Fatalf("%s: audit leaked timelines into the result", tc.name)
+		}
+		if _, err := RunOpenLoop(tr, tc.cfg); err != nil {
+			t.Fatalf("%s (open loop): %v", tc.name, err)
+		}
+	}
+	// Every fault preset must survive the audit too.
+	for _, name := range faults.PresetNames() {
+		fc, ok := faults.Preset(name)
+		if !ok {
+			t.Fatalf("unknown preset %q", name)
+		}
+		if _, err := Run(tr, Config{Disk: p, Audit: true, Faults: plan(t, 3, 2, fc)}); err != nil {
+			t.Fatalf("preset %s: %v", name, err)
+		}
+	}
+}
+
+// auditedRun returns a faulted, timeline-carrying result for the
+// tampering tests below.
+func auditedRun(t *testing.T) (*Result, disk.Params) {
+	t.Helper()
+	p := disk.DefaultParams()
+	fc := faults.Config{SpinUpFailProb: 1, MaxRetries: 2, RetryBackoffMS: 100}
+	res, err := Run(auditTrace(), Config{Disk: p, RecordTimeline: true, Faults: plan(t, 7, 2, fc)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aerr := Audit(res, p, true); aerr != nil {
+		t.Fatalf("untampered run failed audit: %v", aerr)
+	}
+	return res, p
+}
+
+func wantViolation(t *testing.T, res *Result, p disk.Params, faultsOn bool, invariant string) {
+	t.Helper()
+	aerr := Audit(res, p, faultsOn)
+	if aerr == nil {
+		t.Fatalf("audit passed, want %q violation", invariant)
+	}
+	var ae *AuditError
+	if !errors.As(error(aerr), &ae) {
+		t.Fatalf("audit error has wrong type: %T", aerr)
+	}
+	for _, v := range ae.Violations {
+		if v.Invariant == invariant {
+			return
+		}
+	}
+	t.Fatalf("audit failed with %v, want %q among the violations", ae.Violations, invariant)
+}
+
+// TestAuditCatchesDoubleChargedFaultEnergy seeds the bug the audit
+// exists for: the spin-up cascade's energy charged twice to the
+// accumulators. The per-mode breakdown and run totals are adjusted
+// consistently, so only the timeline power integral can expose it.
+func TestAuditCatchesDoubleChargedFaultEnergy(t *testing.T) {
+	res, p := auditedRun(t)
+	res.Disks[0].TransitionEnergyJ += p.SpinUpJ
+	res.Disks[0].EnergyJ += p.SpinUpJ
+	res.EnergyJ += p.SpinUpJ
+	wantViolation(t, res, p, true, "timeline-energy")
+}
+
+func TestAuditCatchesBreakdownMismatch(t *testing.T) {
+	res, p := auditedRun(t)
+	res.Disks[0].TransitionEnergyJ += p.SpinUpJ // breakdown no longer sums
+	wantViolation(t, res, p, true, "energy-breakdown")
+}
+
+func TestAuditCatchesTimeLoss(t *testing.T) {
+	res, p := auditedRun(t)
+	res.Disks[1].IdleMS -= 5
+	wantViolation(t, res, p, true, "time-conservation")
+}
+
+func TestAuditCatchesNegativeCounter(t *testing.T) {
+	res, p := auditedRun(t)
+	res.Disks[0].WaitMS = -1
+	wantViolation(t, res, p, true, "non-negative")
+}
+
+func TestAuditCatchesIllegalTransition(t *testing.T) {
+	res, p := auditedRun(t)
+	// Rewrite a mid-timeline spinning segment as standby: both edges
+	// around it become illegal for the state machine.
+	tampered := false
+	tl := res.Timelines[0]
+	for i := 1; i < len(tl)-1; i++ {
+		if tl[i].Stat == StSpinning && tl[i-1].Stat == StSpinning {
+			tl[i].Stat = StStandby
+			tampered = true
+			break
+		}
+	}
+	if !tampered {
+		t.Fatal("no suitable segment to tamper with")
+	}
+	wantViolation(t, res, p, true, "transition-legality")
+}
+
+func TestAuditCatchesFaultCounterLeak(t *testing.T) {
+	p := disk.DefaultParams()
+	res, err := Run(auditTrace(), Config{Disk: p, RecordTimeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Disks[0].RemapHits = 1
+	wantViolation(t, res, p, false, "fault-free")
+}
+
+func TestAuditCatchesRunLevelDrift(t *testing.T) {
+	res, p := auditedRun(t)
+	res.EnergyJ *= 1.01
+	wantViolation(t, res, p, true, "run-energy")
+}

@@ -55,7 +55,7 @@ func RunOpenLoop(tr *trace.Trace, cfg Config) (*Result, error) {
 	if cfg.DistanceAwareSeek {
 		m.EnableDistanceSeek(cfg.Disk.CapacityBlocks())
 	}
-	if cfg.RecordTimeline {
+	if cfg.RecordTimeline || cfg.Audit {
 		m.EnableTimeline()
 	}
 	if cfg.Obs != nil {
@@ -104,7 +104,7 @@ func RunOpenLoop(tr *trace.Trace, cfg Config) (*Result, error) {
 	}
 	stats, idles := m.Finish(end)
 	res := &Result{Program: tr.Program, ExecMS: end, Disks: stats, Idles: idles}
-	if cfg.RecordTimeline {
+	if cfg.RecordTimeline || cfg.Audit {
 		res.Timelines = m.Timelines()
 	}
 	if cfg.Policy != nil {
@@ -119,5 +119,13 @@ func RunOpenLoop(tr *trace.Trace, cfg Config) (*Result, error) {
 	}
 	// Readiness waits (from the machine) plus FIFO queueing delays.
 	res.TotalWaitMS += queueMS
+	if cfg.Audit {
+		if aerr := Audit(res, cfg.Disk, cfg.Faults != nil); aerr != nil {
+			return nil, aerr
+		}
+		if !cfg.RecordTimeline {
+			res.Timelines = nil
+		}
+	}
 	return res, nil
 }

@@ -50,6 +50,14 @@ type Config struct {
 	// RecordTimeline collects per-disk state timelines into the
 	// result (Result.Timelines).
 	RecordTimeline bool
+	// Audit verifies the conservation invariants of every run (see
+	// Audit): residency and energy-breakdown conservation, the
+	// timeline power integral, and state-machine transition legality.
+	// A violated invariant fails the run with a structured
+	// *AuditError instead of returning a plausible-but-wrong result.
+	// The audit records an internal timeline even when RecordTimeline
+	// is off (the result's Timelines field stays empty in that case).
+	Audit bool
 	// Obs, when non-nil, receives metric events (request latencies,
 	// residency, power ops, spin-up mispredictions) as the run
 	// executes. A nil Obs adds no overhead beyond one branch per
@@ -108,7 +116,10 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	if cfg.DistanceAwareSeek {
 		m.EnableDistanceSeek(cfg.Disk.CapacityBlocks())
 	}
-	if cfg.RecordTimeline {
+	if cfg.RecordTimeline || cfg.Audit {
+		// The audit needs the timeline for its power-integral and
+		// transition-legality checks even when the caller did not ask
+		// to keep it.
 		m.EnableTimeline()
 	}
 	if cfg.Obs != nil {
@@ -179,7 +190,7 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 		Idles:    idles,
 		PowerOps: powerOps,
 	}
-	if cfg.RecordTimeline {
+	if cfg.RecordTimeline || cfg.Audit {
 		res.Timelines = m.Timelines()
 	}
 	if cfg.Policy != nil {
@@ -194,6 +205,14 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 		res.EnergyJ += stats[d].EnergyJ
 		res.Requests += stats[d].Requests
 		res.TotalWaitMS += stats[d].WaitMS
+	}
+	if cfg.Audit {
+		if aerr := Audit(res, cfg.Disk, cfg.Faults != nil); aerr != nil {
+			return nil, aerr
+		}
+		if !cfg.RecordTimeline {
+			res.Timelines = nil
+		}
 	}
 	return res, nil
 }
