@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short vet race fuzz-smoke bench bench-json experiments golden golden-drift examples cover clean
+.PHONY: all check build test test-short vet race fuzz-smoke bench bench-json bench-diff experiments golden golden-drift examples cover clean
 
 all: check
 
@@ -49,6 +49,17 @@ fuzz-smoke:
 bench:
 	mkdir -p results
 	$(GO) test -bench=. -benchmem . ./internal/sim | tee results/bench_baseline.txt
+
+# bench-diff re-runs the simulator hot-path benchmarks and compares
+# them against the committed baseline with tools/benchdiff, failing on
+# a >25% ns/op regression — the CI bench-smoke gate. BENCH_SMOKE
+# selects the three guarded hot paths; BENCH_TOLERANCE loosens the
+# threshold for noisy machines.
+BENCH_SMOKE ?= SimHotPath$$|SimHotPathDRPM$$|OpenLoopHotPath$$
+BENCH_TOLERANCE ?= 25
+bench-diff:
+	$(GO) test -run='^$$' -bench='$(BENCH_SMOKE)' -benchmem ./internal/sim | \
+		$(GO) run ./tools/benchdiff -tolerance $(BENCH_TOLERANCE) -bench '$(BENCH_SMOKE)' results/bench_baseline.txt -
 
 # bench-json records the same benchmarks as machine-readable JSON
 # (results/BENCH_sim.json) for dashboards and regression tooling; see

@@ -20,6 +20,13 @@ import (
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	// One untimed warmup: these benchmarks run few iterations, and the
+	// first one pays heap growth and page faults that would otherwise
+	// dominate the mean.
+	if err := RunExperiment(id, io.Discard); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := RunExperiment(id, io.Discard); err != nil {
 			b.Fatal(err)
@@ -161,6 +168,11 @@ func BenchmarkExtensionMultiprogram(b *testing.B) { benchExperiment(b, "ext-mult
 // multi-core machines; both render byte-identical output.
 func benchSuite(b *testing.B, workers int) {
 	b.Helper()
+	// Untimed warmup, as in benchExperiment.
+	if err := RunExperiments("fig3", io.Discard, Options{Workers: workers}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := RunExperiments("fig3", io.Discard, Options{Workers: workers}); err != nil {
 			b.Fatal(err)

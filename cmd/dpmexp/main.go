@@ -59,6 +59,7 @@ func main() {
 	resume := flag.Bool("resume", false, "reopen the -journal file and skip cells it already holds (requires -journal)")
 	audit := flag.Bool("audit", false, "verify conservation invariants after every simulation; fail on any violation")
 	retries := flag.Int("retries", 0, "extra attempts for a failing or panicking experiment cell")
+	batch := flag.Bool("batch", true, "batched steady-state simulation over compiled traces; -batch=false forces the general per-request path (output is byte-identical)")
 	verbose, quiet := cli.LogFlags(flag.CommandLine)
 	flag.Parse()
 	cli.SetupLogging("dpmexp", *verbose, *quiet)
@@ -81,6 +82,7 @@ func main() {
 		FaultSpec: *faultSpec, FaultSeed: *faultSeed,
 		Journal: *journalPath, Resume: *resume,
 		Audit: *audit, Retries: *retries,
+		DisableBatch: !*batch,
 	}
 	var metricsBuf *bytes.Buffer
 	if *metricsOut != "" {

@@ -66,6 +66,7 @@ func main() {
 	faultSpec := flag.String("faults", "", "fault-injection spec: preset (off/light/moderate/heavy), key=value list, or @file; empty = fault-free")
 	faultSeed := flag.Int64("fault-seed", 1, "fault schedule seed; the same seed reproduces the exact fault pattern")
 	audit := flag.Bool("audit", false, "verify conservation invariants (energy/time bookkeeping, state-machine legality) after the run; fail on any violation")
+	batch := flag.Bool("batch", true, "batched steady-state executor over the trace's compiled runs; -batch=false forces the general per-request path (results are bit-identical)")
 	verbose, quiet := cli.LogFlags(flag.CommandLine)
 	flag.Parse()
 	cli.SetupLogging("dpmsim", *verbose, *quiet)
@@ -109,6 +110,7 @@ func main() {
 		RecordTimeline:      *timeline > 0 || *traceOut != "",
 		Audit:               *audit,
 		Obs:                 coll,
+		DisableBatch:        !*batch,
 	}
 	if *faultSpec != "" {
 		fc, err := faults.ParseSpec(*faultSpec)

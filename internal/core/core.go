@@ -106,6 +106,12 @@ type Config struct {
 	// flag is deliberately excluded from Fingerprint — audited and
 	// unaudited runs share cache entries and journal records.
 	Audit bool
+	// DisableBatch forces the simulator's general per-request path
+	// instead of the batched steady-state executor (the -batch=off
+	// escape hatch). Results are bit-identical either way, so — like
+	// Audit — the flag is excluded from Fingerprint: batched and
+	// unbatched runs share cache entries and journal records.
+	DisableBatch bool
 }
 
 // DefaultConfig returns the Table 1 configuration.
@@ -194,6 +200,7 @@ type Instance struct {
 	mu        sync.Mutex // guards the lazy caches below
 	baseTrace *trace.Trace
 	instr     map[insert.Mode]*instrumented
+	compiled  map[*trace.Trace]*trace.Compiled
 }
 
 type instrumented struct {
@@ -280,6 +287,23 @@ func (in *Instance) Instrumented(mode insert.Mode) (*trace.Trace, *insert.Plan, 
 	return tr, plan, nil
 }
 
+// Compiled returns (and caches) the run-length compiled form of a
+// trace owned by this instance (the base trace or an instrumented
+// one), so every scheme sharing a trace shares its compiled form.
+func (in *Instance) Compiled(tr *trace.Trace) *trace.Compiled {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.compiled == nil {
+		in.compiled = make(map[*trace.Trace]*trace.Compiled)
+	}
+	c, ok := in.compiled[tr]
+	if !ok {
+		c = trace.Compile(tr)
+		in.compiled[tr] = c
+	}
+	return c
+}
+
 // Run simulates the instance under the given scheme.
 func (in *Instance) Run(s Scheme) (*sim.Result, error) {
 	cfg := sim.Config{
@@ -314,6 +338,11 @@ func (in *Instance) Run(s Scheme) (*sim.Result, error) {
 		tr = itr
 	default:
 		return nil, fmt.Errorf("core: unknown scheme %q", s)
+	}
+	if in.Cfg.DisableBatch {
+		cfg.DisableBatch = true
+	} else {
+		cfg.Compiled = in.Compiled(tr)
 	}
 	res, err := sim.Run(tr, cfg)
 	if err != nil {

@@ -14,10 +14,11 @@ import (
 // management strategy" (Section 3 of the paper): instrument for both
 // mechanisms, estimate, and keep the cheaper plan.
 func (pl *Plan) EstimateEnergyJ(p disk.Params, sites []tracegen.Site) float64 {
+	tbl := disk.TableFor(p)
 	var e float64
 	for i := range sites {
-		svc := p.ServiceTimeMS(p.MaxRPM, sites[i].Bytes)
-		e += p.ActivePowerAt(p.MaxRPM) * svc / 1e3
+		svc := tbl.ServiceTimeMS(p.MaxRPM, sites[i].Bytes)
+		e += tbl.ActivePowerAt(p.MaxRPM) * svc / 1e3
 	}
 	for d := range pl.Levels {
 		for g, level := range pl.Levels[d] {
@@ -35,10 +36,10 @@ func (pl *Plan) EstimateEnergyJ(p disk.Params, sites []tracegen.Site) float64 {
 			default: // RPM dip
 				if trailing {
 					tr := p.TransitionTimeMS(p.MaxRPM, level)
-					e += p.TransitionEnergyJ(p.MaxRPM, level) +
-						p.IdlePowerAt(level)*max0(idle-tr)/1e3
+					e += tbl.TransitionEnergyJ(p.MaxRPM, level) +
+						tbl.IdlePowerAt(level)*max0(idle-tr)/1e3
 				} else {
-					e += p.DipEnergyJ(idle, level)
+					e += tbl.DipEnergyJ(idle, level)
 				}
 			}
 		}
@@ -49,10 +50,11 @@ func (pl *Plan) EstimateEnergyJ(p disk.Params, sites []tracegen.Site) float64 {
 // EstimateBaseEnergyJ predicts the energy with no power management:
 // every idle period spent at full-speed idle.
 func (pl *Plan) EstimateBaseEnergyJ(p disk.Params, sites []tracegen.Site) float64 {
+	tbl := disk.TableFor(p)
 	var e float64
 	for i := range sites {
-		svc := p.ServiceTimeMS(p.MaxRPM, sites[i].Bytes)
-		e += p.ActivePowerAt(p.MaxRPM) * svc / 1e3
+		svc := tbl.ServiceTimeMS(p.MaxRPM, sites[i].Bytes)
+		e += tbl.ActivePowerAt(p.MaxRPM) * svc / 1e3
 	}
 	for d := range pl.PredictedIdle {
 		for _, idle := range pl.PredictedIdle[d] {

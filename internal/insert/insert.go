@@ -198,7 +198,11 @@ func Instrument(program string, numDisks int, sites []tracegen.Site, opts Option
 	}
 	m := opts.model()
 	p := opts.Disk
-	svc := func(b int64) float64 { return p.ServiceTimeMS(p.MaxRPM, b) }
+	// The gap decisions below query the disk power model once per idle
+	// period per disk; the memoized table turns each of those pow-heavy
+	// scans into array lookups with bit-identical results.
+	tbl := disk.TableFor(p)
+	svc := func(b int64) float64 { return tbl.ServiceTimeMS(p.MaxRPM, b) }
 	issue := tracegen.PredictedIssueMS(sites, m, svc)
 
 	// Completion times and the predicted program end.
@@ -333,9 +337,9 @@ func Instrument(program string, numDisks int, sites []tracegen.Site, opts Option
 			case ModeDRPM:
 				var level int
 				if trailing {
-					level, _ = p.BestRPMForTrailingIdle(idle)
+					level, _ = tbl.BestRPMForTrailingIdle(idle)
 				} else {
-					level, _ = p.BestRPMForIdle(idle)
+					level, _ = tbl.BestRPMForIdle(idle)
 				}
 				if level != p.MaxRPM {
 					dec.Act = Dip

@@ -42,6 +42,7 @@ func Mispredictions(plan *insert.Plan, baseIdles [][]sim.IdlePeriod, p disk.Para
 	}
 	var st MispredictStats
 	var absErr int
+	tbl := disk.TableFor(p)
 	for d := range plan.Levels {
 		if len(baseIdles[d]) != len(plan.Levels[d]) {
 			return MispredictStats{}, fmt.Errorf("oracle: disk %d has %d actual idle periods, plan has %d",
@@ -52,9 +53,9 @@ func Mispredictions(plan *insert.Plan, baseIdles [][]sim.IdlePeriod, p disk.Para
 			trailing := g == len(plan.Levels[d])-1
 			var optimal int
 			if trailing {
-				optimal, _ = p.BestRPMForTrailingIdle(actual)
+				optimal, _ = tbl.BestRPMForTrailingIdle(actual)
 			} else {
-				optimal, _ = p.BestRPMForIdle(actual)
+				optimal, _ = tbl.BestRPMForIdle(actual)
 			}
 			st.TotalGaps++
 			if planned != optimal {

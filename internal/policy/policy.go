@@ -42,6 +42,10 @@ func (*Base) AfterService(*sim.Machine, int, float64, float64) {}
 // Finish implements sim.Policy.
 func (*Base) Finish(*sim.Machine, float64) {}
 
+// Horizon implements sim.HorizonPolicy: Base never acts, so the
+// batched executor may skip every decision point.
+func (*Base) Horizon() sim.Horizon { return sim.Horizon{} }
+
 // TPM is the traditional reactive spin-down policy: after a disk has
 // been idle for ThresholdMS it is spun down; the next request pays
 // the full spin-up delay.
@@ -76,6 +80,19 @@ func (t *TPM) BeforeService(m *sim.Machine, d int, now float64) {
 
 // AfterService implements sim.Policy.
 func (*TPM) AfterService(*sim.Machine, int, float64, float64) {}
+
+// Horizon implements sim.HorizonPolicy: BeforeService acts only when
+// the ended idle period exceeds the threshold on a full-speed disk.
+// The predicate repeats BeforeService's own comparisons (the status
+// check is the executor's precondition), so it can never disagree
+// with the real call.
+func (t *TPM) Horizon() sim.Horizon {
+	return sim.Horizon{
+		NoOpBefore: func(d int, start, now float64, rpm int) bool {
+			return !(now-start > t.ThresholdMS && rpm == t.p.MaxRPM)
+		},
+	}
+}
 
 // Finish spins down disks whose trailing idleness exceeds the
 // threshold (no spin-up needed before program end).
@@ -118,6 +135,21 @@ func (t *ITPM) BeforeService(m *sim.Machine, d int, now float64) {
 
 // AfterService implements sim.Policy.
 func (*ITPM) AfterService(*sim.Machine, int, float64, float64) {}
+
+// Horizon implements sim.HorizonPolicy: the oracle acts only when
+// standby beats idling for the just-ended period, evaluated with the
+// exact comparison BeforeService performs.
+func (t *ITPM) Horizon() sim.Horizon {
+	return sim.Horizon{
+		NoOpBefore: func(d int, start, now float64, rpm int) bool {
+			if rpm != t.p.MaxRPM {
+				return true
+			}
+			idle := now - start
+			return !(t.p.StandbyEnergyJ(idle) < t.p.IdleEnergyJ(idle))
+		},
+	}
+}
 
 // Finish exploits each disk's trailing idle period: spinning down is
 // worthwhile whenever it saves energy, and no spin-up is needed.
@@ -195,6 +227,28 @@ func (r *DRPM) rampDown(m *sim.Machine, d int, start, end float64) {
 	}
 }
 
+// Horizon implements sim.HorizonPolicy. BeforeService (rampDown) is
+// a no-op when ramping is suspended, the disk is already at the
+// floor, or the idle period is shorter than one ramp step; the
+// closure reads the live controller state, so a window trip
+// suspending or re-enabling ramps is reflected immediately. The
+// controller window needs every response time, so AfterService runs
+// per request even on the fast path.
+func (r *DRPM) Horizon() sim.Horizon {
+	return sim.Horizon{
+		NoOpBefore: func(d int, start, now float64, rpm int) bool {
+			if !r.rampOK {
+				return true
+			}
+			if rpm <= r.p.MinRPM {
+				return true
+			}
+			return start+r.IdleStepMS > now
+		},
+		AfterPerRequest: true,
+	}
+}
+
 // AfterService feeds the controller window and gates the ramping.
 func (r *DRPM) AfterService(m *sim.Machine, d int, end, responseMS float64) {
 	r.winSum += responseMS
@@ -235,10 +289,13 @@ func (r *DRPM) Finish(m *sim.Machine, endT float64) {
 // returning to full speed exactly in time for the next request.
 type IDRPM struct {
 	p disk.Params
+	// tbl serves the per-idle-period best-RPM scans from the memoized
+	// power table (bit-identical to the Params methods).
+	tbl *disk.Table
 }
 
 // NewIDRPM returns the ideal DRPM policy.
-func NewIDRPM(p disk.Params) *IDRPM { return &IDRPM{p: p} }
+func NewIDRPM(p disk.Params) *IDRPM { return &IDRPM{p: p, tbl: disk.TableFor(p)} }
 
 // Name implements sim.Policy.
 func (*IDRPM) Name() string { return "IDRPM" }
@@ -250,7 +307,7 @@ func (r *IDRPM) BeforeService(m *sim.Machine, d int, now float64) {
 	}
 	start := m.IdleFrom(d)
 	idle := now - start
-	if rpm, _ := r.p.BestRPMForIdle(idle); rpm != r.p.MaxRPM {
+	if rpm, _ := r.tbl.BestRPMForIdle(idle); rpm != r.p.MaxRPM {
 		m.SetRPMAt(d, start, rpm)
 		m.SetRPMAt(d, now-r.p.TransitionTimeMS(rpm, r.p.MaxRPM), r.p.MaxRPM)
 	}
@@ -258,6 +315,21 @@ func (r *IDRPM) BeforeService(m *sim.Machine, d int, now float64) {
 
 // AfterService implements sim.Policy.
 func (*IDRPM) AfterService(*sim.Machine, int, float64, float64) {}
+
+// Horizon implements sim.HorizonPolicy: the oracle acts only when
+// some lower level beats full-speed idling for the just-ended
+// period. The check runs the same table scan BeforeService runs.
+func (r *IDRPM) Horizon() sim.Horizon {
+	return sim.Horizon{
+		NoOpBefore: func(d int, start, now float64, rpm int) bool {
+			if rpm != r.p.MaxRPM {
+				return true
+			}
+			best, _ := r.tbl.BestRPMForIdle(now - start)
+			return best == r.p.MaxRPM
+		},
+	}
+}
 
 // Finish dips each disk's trailing idle period to the level
 // minimizing one-way transition plus residence energy.
@@ -267,7 +339,7 @@ func (r *IDRPM) Finish(m *sim.Machine, endT float64) {
 			continue
 		}
 		start := m.IdleFrom(d)
-		if best, _ := r.p.BestRPMForTrailingIdle(endT - start); best != r.p.MaxRPM {
+		if best, _ := r.tbl.BestRPMForTrailingIdle(endT - start); best != r.p.MaxRPM {
 			m.SetRPMAt(d, start, best)
 		}
 	}

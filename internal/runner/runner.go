@@ -225,9 +225,20 @@ func (p *Pool) Map(n int, fn func(i int) error) error {
 			errs[i] = run(i)
 		}
 	}
+	// Helpers spawn on demand, chained: each helper first checks that
+	// unclaimed cells remain, then (if so) starts the next helper and
+	// works. A grid whose cells drain faster than goroutines start —
+	// or a machine whose CPUs are all busy — therefore never pays for
+	// helpers that would find no work, and parallel Map never regresses
+	// below the sequential loop. The helpers channel still caps the
+	// pool-wide helper count (nested Map calls share one budget); when
+	// no slot is free the caller alone keeps the bound intact.
 	var wg sync.WaitGroup
-spawn:
-	for spawned := 0; spawned < n-1 && spawned < p.workers-1; spawned++ {
+	var spawn func()
+	spawn = func() {
+		if int(next.Load()) >= n || canceled() != nil {
+			return
+		}
 		select {
 		case p.helpers <- struct{}{}:
 			wg.Add(1)
@@ -236,14 +247,13 @@ spawn:
 					<-p.helpers
 					wg.Done()
 				}()
+				spawn()
 				work()
 			}()
 		default:
-			// No helper slots free (other Map calls on this pool hold
-			// them); the caller alone keeps the bound intact.
-			break spawn
 		}
 	}
+	spawn()
 	work()
 	wg.Wait()
 	if unclaimed := int64(n) - claimed.Load(); unclaimed > 0 {

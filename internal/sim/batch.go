@@ -1,0 +1,344 @@
+package sim
+
+import (
+	"sdpm/internal/obs"
+	"sdpm/internal/trace"
+)
+
+// Horizon is a policy's decision-horizon contract with the batched
+// executor. The fast path may only skip a policy's BeforeService call
+// when the policy guarantees the call would not act; NoOpBefore is
+// that guarantee, evaluated with the same floating-point comparisons
+// the policy itself would perform so the prediction can never
+// disagree with the real call.
+type Horizon struct {
+	// NoOpBefore reports whether the policy's BeforeService for disk
+	// d at time now is guaranteed to be a no-op, given that the disk
+	// has been idle since start and is spinning at rpm. The executor
+	// only consults it for spinning disks. A false return is always
+	// safe: the executor bails to the general path, which runs the
+	// real BeforeService. A nil NoOpBefore means BeforeService never
+	// acts (the base policy).
+	NoOpBefore func(d int, start, now float64, rpm int) bool
+	// AfterPerRequest marks policies whose AfterService observes
+	// every request (the reactive DRPM controller window); the fast
+	// path then invokes AfterService per request exactly as the
+	// general path does. Policies with an empty AfterService leave it
+	// false and the fast path skips the call entirely.
+	AfterPerRequest bool
+}
+
+// HorizonPolicy is implemented by policies that can describe their
+// decision horizon to the batched executor. A Policy that does not
+// implement it disables batching for the run (correctness first).
+type HorizonPolicy interface {
+	Policy
+	Horizon() Horizon
+}
+
+// batchEntry caches one disk's steady-state constants for the
+// batched fast path, keyed by the (rpm, bytes) pair they were
+// computed for and recomputed whenever either changes. Every cached
+// value is produced by the same table call the general path makes,
+// so the fast path's arithmetic is bit-identical.
+type batchEntry struct {
+	rpm      int
+	residIdx int   // LevelIndex(rpm)
+	bytes    int64
+	svc      float64 // ServiceTimeSeekMS(rpm, bytes, AvgSeekMS)
+	addActJ  float64 // ActivePowerAt(rpm) * svc / 1e3
+	pwIdle   float64 // IdlePowerAt(rpm)
+	pwAct    float64 // ActivePowerAt(rpm)
+	// idleLen/idleE memoize the last idle-energy product
+	// pwIdle * idleLen / 1e3 — in steady state every idle period has
+	// the same length, so the division runs once per length change
+	// rather than once per request. Same inputs, same bits.
+	idleLen float64
+	idleE   float64
+}
+
+// batchScratch is the per-disk constant cache (one entry per disk,
+// one allocation per machine).
+type batchScratch []batchEntry
+
+func (m *Machine) batchScratchFor(n int) batchScratch {
+	if m.batch != nil {
+		return m.batch
+	}
+	sc := make(batchScratch, n)
+	for d := range sc {
+		sc[d].rpm = -1 // no valid cached entry yet
+	}
+	m.batch = sc
+	return sc
+}
+
+// serviceRun walks events[run.Start:run.End] — a compiled run of
+// request events — through the steady-state fast path, servicing
+// requests back to back from index i until it reaches the run's end
+// or encounters an event it cannot batch: a disk that is not plainly
+// spinning, a policy decision point (per the horizon), or a
+// fault-plan hit (remap or degradation window). It returns the index
+// of the first unprocessed event and the updated clock; the caller
+// services one event through the general path and re-enters.
+//
+// The fast path performs, per request, exactly the floating-point
+// operations of the general path (Machine.advance + ServiceBlock) in
+// the same order, with the per-(rpm, size) constants cached. The
+// only eliminated float operations are ones that cannot change
+// state: the WaitMS += 0 accumulation (start always equals the issue
+// time here) and the policy's no-op BeforeService comparisons.
+// Results are therefore bit-identical to the general path, which the
+// differential tests in batch_diff_test.go enforce.
+func (m *Machine) serviceRun(events []trace.Event, i int, run *trace.Run, clock float64, hz Horizon, pol Policy) (int, float64) {
+	sc := m.batchScratchFor(len(m.disks))
+	if m.obs == nil && !m.recTimeline && m.faults == nil && hz.NoOpBefore == nil && !hz.AfterPerRequest {
+		// No per-request instrumentation, faults, or policy horizon to
+		// consult: take the branch-free steady-state loop.
+		return m.serviceRunLean(events, i, run, clock, sc)
+	}
+	hi := run.End
+	// Runs compiled as fully uniform let the loop skip the per-event
+	// gap and size loads (the branches below predict perfectly either
+	// way); the per-disk Block load is only needed when a fault plan
+	// could remap it.
+	uniformGap, gapMS := run.GapMS >= 0, run.GapMS
+	uniformBytes, runBytes := run.Bytes != 0, run.Bytes
+	runDisk, pat, start := run.Disk, run.Disks, run.Start
+	checkFaults := m.faults != nil
+	checkHorizon := hz.NoOpBefore != nil
+	recTL := m.recTimeline
+	for i < hi {
+		ev := &events[i]
+		d := runDisk
+		if pat != nil {
+			d = int(pat[i-start])
+		} else if d < 0 {
+			d = ev.Req.Disk
+		}
+		s := &m.disks[d]
+		if s.status != StSpinning || s.accT != s.idleFrom {
+			// A power op or spin-up is in flight on this disk; the
+			// general path resolves it (and pays any wait).
+			return i, clock
+		}
+		gap := gapMS
+		if !uniformGap {
+			gap = ev.GapMS
+		}
+		t := clock + gap
+		if checkHorizon && !hz.NoOpBefore(d, s.idleFrom, t, s.rpm) {
+			return i, clock
+		}
+		if checkFaults {
+			if ev.Req.Block >= 0 && m.faults.Remapped(d, ev.Req.Block) {
+				return i, clock
+			}
+			if factor, _ := m.faults.Degraded(d, t); factor > 1 {
+				return i, clock
+			}
+		}
+		bytes := runBytes
+		if !uniformBytes {
+			bytes = ev.Req.Bytes
+		}
+		c := &sc[d]
+		if c.rpm != s.rpm || c.bytes != bytes {
+			c.rpm = s.rpm
+			c.bytes = bytes
+			c.pwIdle = m.tbl.IdlePowerAt(s.rpm)
+			c.pwAct = m.tbl.ActivePowerAt(s.rpm)
+			c.svc = m.tbl.ServiceTimeSeekMS(s.rpm, bytes, m.p.AvgSeekMS)
+			c.addActJ = c.pwAct * c.svc / 1e3
+			c.residIdx = m.p.LevelIndex(s.rpm)
+			c.idleLen = -1 // unmatchable: idle memo invalid for new rpm
+		}
+		idleLen := t - s.idleFrom
+		s.idles = append(s.idles, IdlePeriod{StartMS: s.idleFrom, LenMS: idleLen})
+		if idleLen > 0 {
+			// Machine.advance's StSpinning branch for [accT, t].
+			e := c.idleE
+			if idleLen != c.idleLen {
+				e = c.pwIdle * idleLen / 1e3
+				c.idleLen, c.idleE = idleLen, e
+			}
+			s.stats.EnergyJ += e
+			s.stats.IdleEnergyJ += e
+			s.stats.IdleMS += idleLen
+			s.resid[c.residIdx] += idleLen
+			if recTL {
+				s.record(true, s.accT, t, StSpinning, s.rpm, c.pwIdle, false)
+			}
+			if m.obs != nil {
+				m.obs.ObserveResidency(d, obs.StateIdle, s.rpm, idleLen)
+			}
+		}
+		// ServiceBlock's spinning steady state: start == t, no wait.
+		svc := c.svc
+		s.stats.EnergyJ += c.addActJ
+		s.stats.ActiveEnergyJ += c.addActJ
+		s.stats.ActiveMS += svc
+		s.resid[c.residIdx] += svc
+		s.stats.Requests++
+		end := t + svc
+		if m.obs != nil {
+			m.obs.ObserveResidency(d, obs.StateService, s.rpm, svc)
+			m.obs.ObserveRequest(d, svc, 0, idleLen)
+		}
+		if recTL {
+			s.record(true, t, end, StSpinning, s.rpm, c.pwAct, true)
+		}
+		s.accT = end
+		s.idleFrom = end
+		clock = end
+		i++
+		if hz.AfterPerRequest {
+			// The controller may act on any disk (e.g. DRPM's restore
+			// sweep); the per-disk status and cache checks above pick
+			// that up on the next iteration.
+			pol.AfterService(m, d, end, end-t)
+		}
+	}
+	return i, clock
+}
+
+// serviceRunLean is serviceRun specialized for the common engine
+// configuration — no collector, no timeline, no fault plan, and a
+// policy (if any) with neither a BeforeService horizon nor a
+// per-request AfterService. The arithmetic is identical to serviceRun;
+// only the always-false instrumentation branches are gone.
+func (m *Machine) serviceRunLean(events []trace.Event, i int, run *trace.Run, clock float64, sc batchScratch) (int, float64) {
+	if run.Disk >= 0 && run.GapMS >= 0 && run.Bytes != 0 {
+		// Fully homogeneous run on one disk: the steady-state loop
+		// below keeps the disk's accumulators in locals.
+		return m.serviceRunSteady(i, run, clock, sc)
+	}
+	hi := run.End
+	uniformGap, gapMS := run.GapMS >= 0, run.GapMS
+	uniformBytes, runBytes := run.Bytes != 0, run.Bytes
+	runDisk, pat, start := run.Disk, run.Disks, run.Start
+	for i < hi {
+		d := runDisk
+		if pat != nil {
+			d = int(pat[i-start])
+		} else if d < 0 {
+			d = events[i].Req.Disk
+		}
+		s := &m.disks[d]
+		if s.status != StSpinning || s.accT != s.idleFrom {
+			return i, clock
+		}
+		gap := gapMS
+		if !uniformGap {
+			gap = events[i].GapMS
+		}
+		t := clock + gap
+		bytes := runBytes
+		if !uniformBytes {
+			bytes = events[i].Req.Bytes
+		}
+		c := &sc[d]
+		if c.rpm != s.rpm || c.bytes != bytes {
+			c.rpm = s.rpm
+			c.bytes = bytes
+			c.pwIdle = m.tbl.IdlePowerAt(s.rpm)
+			c.pwAct = m.tbl.ActivePowerAt(s.rpm)
+			c.svc = m.tbl.ServiceTimeSeekMS(s.rpm, bytes, m.p.AvgSeekMS)
+			c.addActJ = c.pwAct * c.svc / 1e3
+			c.residIdx = m.p.LevelIndex(s.rpm)
+			c.idleLen = -1 // unmatchable: idle memo invalid for new rpm
+		}
+		idleLen := t - s.idleFrom
+		s.idles = append(s.idles, IdlePeriod{StartMS: s.idleFrom, LenMS: idleLen})
+		if idleLen > 0 {
+			e := c.idleE
+			if idleLen != c.idleLen {
+				e = c.pwIdle * idleLen / 1e3
+				c.idleLen, c.idleE = idleLen, e
+			}
+			s.stats.EnergyJ += e
+			s.stats.IdleEnergyJ += e
+			s.stats.IdleMS += idleLen
+			s.resid[c.residIdx] += idleLen
+		}
+		svc := c.svc
+		s.stats.EnergyJ += c.addActJ
+		s.stats.ActiveEnergyJ += c.addActJ
+		s.stats.ActiveMS += svc
+		s.resid[c.residIdx] += svc
+		s.stats.Requests++
+		end := t + svc
+		s.accT = end
+		s.idleFrom = end
+		clock = end
+		i++
+	}
+	return i, clock
+}
+
+// serviceRunSteady services a fully homogeneous run — one disk, one
+// request size, one gap — with the disk's accumulators held in
+// locals and written back once. No state outside this disk can change
+// inside the loop (no policy, faults, or instrumentation on this
+// path), so hoisting is safe; the accumulation order over the locals
+// is exactly the per-request order, so the results are bit-identical.
+func (m *Machine) serviceRunSteady(i int, run *trace.Run, clock float64, sc batchScratch) (int, float64) {
+	d := run.Disk
+	s := &m.disks[d]
+	if s.status != StSpinning || s.accT != s.idleFrom {
+		return i, clock
+	}
+	gap, bytes := run.GapMS, run.Bytes
+	c := &sc[d]
+	if c.rpm != s.rpm || c.bytes != bytes {
+		c.rpm = s.rpm
+		c.bytes = bytes
+		c.pwIdle = m.tbl.IdlePowerAt(s.rpm)
+		c.pwAct = m.tbl.ActivePowerAt(s.rpm)
+		c.svc = m.tbl.ServiceTimeSeekMS(s.rpm, bytes, m.p.AvgSeekMS)
+		c.addActJ = c.pwAct * c.svc / 1e3
+		c.residIdx = m.p.LevelIndex(s.rpm)
+		c.idleLen = -1
+	}
+	idleFrom := s.idleFrom
+	idles := s.idles
+	energyJ, idleEJ, idleMS := s.stats.EnergyJ, s.stats.IdleEnergyJ, s.stats.IdleMS
+	actEJ, actMS := s.stats.ActiveEnergyJ, s.stats.ActiveMS
+	reqs := s.stats.Requests
+	resid := s.resid[c.residIdx]
+	svc, addActJ, pwIdle := c.svc, c.addActJ, c.pwIdle
+	memoLen, memoE := c.idleLen, c.idleE
+	for ; i < run.End; i++ {
+		t := clock + gap
+		idleLen := t - idleFrom
+		idles = append(idles, IdlePeriod{StartMS: idleFrom, LenMS: idleLen})
+		if idleLen > 0 {
+			e := memoE
+			if idleLen != memoLen {
+				e = pwIdle * idleLen / 1e3
+				memoLen, memoE = idleLen, e
+			}
+			energyJ += e
+			idleEJ += e
+			idleMS += idleLen
+			resid += idleLen
+		}
+		energyJ += addActJ
+		actEJ += addActJ
+		actMS += svc
+		resid += svc
+		reqs++
+		end := t + svc
+		idleFrom = end
+		clock = end
+	}
+	s.idles = idles
+	s.accT = idleFrom
+	s.idleFrom = idleFrom
+	s.stats.EnergyJ, s.stats.IdleEnergyJ, s.stats.IdleMS = energyJ, idleEJ, idleMS
+	s.stats.ActiveEnergyJ, s.stats.ActiveMS = actEJ, actMS
+	s.stats.Requests = reqs
+	s.resid[c.residIdx] = resid
+	c.idleLen, c.idleE = memoLen, memoE
+	return i, clock
+}

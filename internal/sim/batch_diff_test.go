@@ -1,0 +1,183 @@
+package sim_test
+
+// Differential property test for the batched steady-state executor:
+// on randomized traces — varying disk counts, request mixes, gaps,
+// embedded power ops, policies, and fault plans — the batched and the
+// general per-request paths must produce identical Results, down to
+// the last bit of every float. Any divergence is a correctness bug in
+// the batching fast path, never acceptable drift. The test runs under
+// `make race` (internal/sim is in the race list).
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sdpm/internal/disk"
+	"sdpm/internal/faults"
+	"sdpm/internal/policy"
+	"sdpm/internal/sim"
+	"sdpm/internal/trace"
+)
+
+// randomBatchTrace generates a trace alternating steady stretches (the
+// compiled runs the fast path batches) with jittered stretches and
+// embedded power ops (the bail-out cases).
+func randomBatchTrace(r *rand.Rand, nDisks int) *trace.Trace {
+	tr := &trace.Trace{Program: "diff", NumDisks: nDisks}
+	arrival := 0.0
+	sizes := []int64{4096, 65536, 262144}
+	block := int64(0)
+	addReq := func(d int, gap float64, bytes int64) {
+		arrival += gap
+		kind := trace.Read
+		if r.Intn(4) == 0 {
+			kind = trace.Write
+		}
+		tr.Events = append(tr.Events, trace.Event{
+			Kind:  trace.EvRequest,
+			GapMS: gap,
+			Req: trace.Request{
+				ArrivalMS: arrival, Disk: d, Block: block % (1 << 20),
+				Bytes: bytes, Kind: kind,
+			},
+		})
+		block += bytes / 512
+	}
+	p := disk.DefaultParams()
+	for len(tr.Events) < 2500 {
+		switch r.Intn(5) {
+		case 0, 1: // steady stretch: uniform gap and size
+			n := 4 + r.Intn(120)
+			gap := []float64{0, 2, 7.5, 60, 300}[r.Intn(5)]
+			bytes := sizes[r.Intn(len(sizes))]
+			roundRobin := r.Intn(2) == 0
+			d := r.Intn(nDisks)
+			for i := 0; i < n; i++ {
+				if roundRobin {
+					d = i % nDisks
+				}
+				addReq(d, gap, bytes)
+			}
+		case 2: // jittered stretch
+			n := 1 + r.Intn(30)
+			for i := 0; i < n; i++ {
+				addReq(r.Intn(nDisks), r.Float64()*40, sizes[r.Intn(len(sizes))])
+			}
+		case 3: // long-idle stretch (policy decision territory)
+			n := 4 + r.Intn(10)
+			for i := 0; i < n; i++ {
+				addReq(r.Intn(nDisks), 1000+r.Float64()*14000, 65536)
+			}
+		case 4: // embedded power op
+			d := r.Intn(nDisks)
+			op := trace.PowerOp{Disk: d}
+			switch r.Intn(3) {
+			case 0:
+				op.Kind = trace.OpSpinDown
+			case 1:
+				op.Kind = trace.OpSpinUp
+			default:
+				op.Kind = trace.OpSetRPM
+				op.RPM = p.MinRPM + r.Intn(p.NumLevels())*p.RPMStep
+				op.PredictedIdleMS = r.Float64() * 5000
+			}
+			tr.Events = append(tr.Events, trace.Event{
+				Kind: trace.EvPowerOp, GapMS: r.Float64() * 5, Op: op,
+			})
+		}
+	}
+	return tr
+}
+
+// diffPolicy builds one fresh policy per name; fresh instances per
+// run keep the stateful controllers (DRPM's window) independent.
+func diffPolicy(name string, p disk.Params, nDisks int) sim.Policy {
+	switch name {
+	case "none":
+		return nil
+	case "base":
+		return policy.NewBase()
+	case "tpm":
+		return policy.NewTPM(p, 0)
+	case "itpm":
+		return policy.NewITPM(p)
+	case "drpm":
+		return policy.NewDRPM(p, nDisks)
+	case "idrpm":
+		return policy.NewIDRPM(p)
+	}
+	panic("unknown policy " + name)
+}
+
+// TestBatchDifferential is the batched-vs-general equivalence sweep.
+func TestBatchDifferential(t *testing.T) {
+	p := disk.DefaultParams()
+	moderate, err := faults.ParseSpec("moderate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies := []string{"none", "base", "tpm", "itpm", "drpm", "idrpm"}
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(seed))
+			nDisks := 1 + r.Intn(4)
+			tr := randomBatchTrace(r, nDisks)
+			comp := trace.Compile(tr)
+			if len(comp.Runs) == 0 {
+				t.Fatal("generated trace compiled to zero runs; the sweep would not exercise the fast path")
+			}
+			for _, pol := range policies {
+				for _, withFaults := range []bool{false, true} {
+					cfg := sim.Config{
+						Disk:                p,
+						PowerCallOverheadMS: sim.DefaultPowerCallOverheadMS,
+						// Timeline + audit on every other seed: the audit
+						// re-derives energy from the timeline, so a fast
+						// path that drifted would fail twice over.
+						RecordTimeline: seed%2 == 0,
+						Audit:          seed%2 == 0,
+						IgnorePowerOps: seed%3 == 0,
+					}
+					if withFaults {
+						plan, err := faults.New(seed, nDisks, moderate)
+						if err != nil {
+							t.Fatal(err)
+						}
+						cfg.Faults = plan
+					}
+					batched := cfg
+					batched.Policy = diffPolicy(pol, p, nDisks)
+					batched.Compiled = comp
+					want := cfg
+					want.Policy = diffPolicy(pol, p, nDisks)
+					want.DisableBatch = true
+
+					rb, errB := sim.Run(tr, batched)
+					rg, errG := sim.Run(tr, want)
+					if (errB == nil) != (errG == nil) {
+						t.Fatalf("policy %s faults=%t: batched err=%v, general err=%v", pol, withFaults, errB, errG)
+					}
+					if errB != nil {
+						continue
+					}
+					if !reflect.DeepEqual(rb, rg) {
+						t.Errorf("policy %s faults=%t: batched and general results differ", pol, withFaults)
+						if rb.EnergyJ != rg.EnergyJ {
+							t.Errorf("  EnergyJ %v vs %v", rb.EnergyJ, rg.EnergyJ)
+						}
+						if rb.ExecMS != rg.ExecMS {
+							t.Errorf("  ExecMS %v vs %v", rb.ExecMS, rg.ExecMS)
+						}
+						if rb.TotalWaitMS != rg.TotalWaitMS {
+							t.Errorf("  TotalWaitMS %v vs %v", rb.TotalWaitMS, rg.TotalWaitMS)
+						}
+					}
+				}
+			}
+		})
+	}
+}

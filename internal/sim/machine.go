@@ -164,7 +164,11 @@ func (s *dstate) record(enabled bool, start, end float64, stat Status, rpm int, 
 
 // Machine is the multi-disk power state machine.
 type Machine struct {
-	p     disk.Params
+	p disk.Params
+	// tbl serves the per-level power and timing queries of the hot
+	// path from precomputed arrays; every value is bitwise identical
+	// to the Params method it caches.
+	tbl   *disk.Table
 	disks []dstate
 	// Distance-aware seek state (disabled by default).
 	distSeek  bool
@@ -179,6 +183,10 @@ type Machine struct {
 	// every fault path disabled and the machine's arithmetic
 	// bit-identical to a fault-free build.
 	faults *faults.Plan
+	// batch is the batched executor's per-disk constant cache,
+	// allocated on first use (see batchScratchFor). Cached entries
+	// depend only on the disk model, so they survive Reset.
+	batch batchScratch
 }
 
 // obsState maps a power state (plus the active flag) onto the
@@ -203,7 +211,7 @@ func obsState(st Status, active bool) obs.DiskState {
 // NewMachine returns a machine of n disks, all spinning at full speed
 // with their timelines starting at time zero.
 func NewMachine(n int, p disk.Params) *Machine {
-	m := &Machine{p: p, disks: make([]dstate, n)}
+	m := &Machine{p: p, tbl: disk.TableFor(p), disks: make([]dstate, n)}
 	levels := p.NumLevels()
 	residAll := make([]float64, n*levels)
 	for i := range m.disks {
@@ -321,7 +329,7 @@ func (m *Machine) advance(d int, t float64) {
 		switch s.status {
 		case StSpinning:
 			dt := t - s.accT
-			pw := m.p.IdlePowerAt(s.rpm)
+			pw := m.tbl.IdlePowerAt(s.rpm)
 			s.stats.EnergyJ += pw * dt / 1e3
 			s.stats.IdleEnergyJ += pw * dt / 1e3
 			s.stats.IdleMS += dt
@@ -527,7 +535,7 @@ func (m *Machine) SetRPMAt(d int, t float64, rpm int) {
 	s.rpm = rpm
 	dur := m.p.TransitionTimeMS(from, rpm)
 	s.statusUntil = eff + dur
-	s.transPowerW = m.p.TransitionEnergyJ(from, rpm) / dur * 1e3
+	s.transPowerW = m.tbl.TransitionEnergyJ(from, rpm) / dur * 1e3
 	s.stats.RPMShifts++
 	if m.obs != nil {
 		m.obs.CountPowerOp(obs.OpSetRPM)
@@ -600,10 +608,10 @@ func (m *Machine) ServiceBlock(d int, t float64, bytes, block int64) (float64, e
 		// Average-seek model: the relocation costs a flat penalty.
 		seek += m.faults.Config().RemapPenaltyMS
 	}
-	svc := m.p.ServiceTimeSeekMS(s.rpm, bytes, seek)
+	svc := m.tbl.ServiceTimeSeekMS(s.rpm, bytes, seek)
 	if m.faults != nil {
 		if factor, _ := m.faults.Degraded(d, start); factor > 1 {
-			extra := m.p.TransferTimeMS(s.rpm, bytes) * (factor - 1)
+			extra := m.tbl.TransferTimeMS(s.rpm, bytes) * (factor - 1)
 			svc += extra
 			s.stats.DegradedHits++
 			s.stats.DegradedExtraMS += extra
@@ -612,7 +620,7 @@ func (m *Machine) ServiceBlock(d int, t float64, bytes, block int64) (float64, e
 			}
 		}
 	}
-	pw := m.p.ActivePowerAt(s.rpm)
+	pw := m.tbl.ActivePowerAt(s.rpm)
 	s.stats.EnergyJ += pw * svc / 1e3
 	s.stats.ActiveEnergyJ += pw * svc / 1e3
 	s.stats.ActiveMS += svc

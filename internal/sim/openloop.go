@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 
 	"sdpm/internal/trace"
 )
@@ -28,29 +27,17 @@ func RunOpenLoop(tr *trace.Trace, cfg Config) (*Result, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
-	// Collect requests in arrival order (stable for equal arrivals).
-	// The arrival queue and per-disk idle lists are sized exactly up
-	// front; the replay loop itself allocates nothing.
-	type arrival struct {
-		at  float64
-		req *trace.Request
-	}
-	n := 0
+	// Requests are replayed in arrival order. Validate already
+	// guarantees arrivals are non-decreasing in event order, so the
+	// event walk below IS the arrival order — materializing and
+	// stable-sorting an arrival queue (as earlier revisions did) was a
+	// per-run allocation that could never change the order.
 	perDisk := make([]int, tr.NumDisks)
 	for i := range tr.Events {
 		if tr.Events[i].Kind == trace.EvRequest {
-			n++
 			perDisk[tr.Events[i].Req.Disk]++
 		}
 	}
-	reqs := make([]arrival, 0, n)
-	for i := range tr.Events {
-		if tr.Events[i].Kind == trace.EvRequest {
-			reqs = append(reqs, arrival{tr.Events[i].Req.ArrivalMS, &tr.Events[i].Req})
-		}
-	}
-	sort.SliceStable(reqs, func(a, b int) bool { return reqs[a].at < reqs[b].at })
-
 	m := NewMachine(tr.NumDisks, cfg.Disk)
 	if cfg.DistanceAwareSeek {
 		m.EnableDistanceSeek(cfg.Disk.CapacityBlocks())
@@ -73,13 +60,18 @@ func RunOpenLoop(tr *trace.Trace, cfg Config) (*Result, error) {
 	lastCompletion := make([]float64, tr.NumDisks)
 	end := 0.0
 	queueMS := 0.0
-	for _, a := range reqs {
-		d := a.req.Disk
-		issue := a.at
+	for i := range tr.Events {
+		if tr.Events[i].Kind != trace.EvRequest {
+			continue
+		}
+		req := &tr.Events[i].Req
+		d := req.Disk
+		at := req.ArrivalMS
+		issue := at
 		if lastCompletion[d] > issue {
 			// FIFO queueing behind the previous request on this disk.
 			issue = lastCompletion[d]
-			queueMS += issue - a.at
+			queueMS += issue - at
 		}
 		// Note: the machine may have accounted ahead of `issue` when a
 		// policy scheduled an RPM shift that is still in progress; the
@@ -87,12 +79,12 @@ func RunOpenLoop(tr *trace.Trace, cfg Config) (*Result, error) {
 		if cfg.Policy != nil {
 			cfg.Policy.BeforeService(m, d, issue)
 		}
-		compl, err := m.ServiceBlock(d, issue, a.req.Bytes, a.req.Block)
+		compl, err := m.ServiceBlock(d, issue, req.Bytes, req.Block)
 		if err != nil {
 			return nil, err
 		}
 		if cfg.Policy != nil {
-			cfg.Policy.AfterService(m, d, compl, compl-a.at)
+			cfg.Policy.AfterService(m, d, compl, compl-at)
 		}
 		lastCompletion[d] = compl
 		if compl > end {

@@ -68,6 +68,18 @@ type Config struct {
 	// remaps, degradation windows) into the run. The plan must cover
 	// at least the trace's disk count.
 	Faults *faults.Plan
+	// Compiled is the trace's run-length compiled form (see
+	// trace.Compile), enabling the batched steady-state executor.
+	// When nil (and batching is not disabled or ineligible), Run
+	// compiles the trace itself; callers that run many schemes over
+	// one trace should pass a memoized form instead. A Compiled built
+	// from a different trace is detected and recompiled.
+	Compiled *trace.Compiled
+	// DisableBatch forces the general per-request path even when a
+	// compiled form is available — the -batch=off escape hatch.
+	// Results are bit-identical either way (enforced by differential
+	// tests); the switch exists to prove exactly that in the field.
+	DisableBatch bool
 }
 
 // DefaultPowerCallOverheadMS is the default power-management call
@@ -100,14 +112,73 @@ type Result struct {
 	Timelines [][]Segment
 }
 
+// runExec carries the mutable cursor state of one simulation's event
+// walk. Both the per-request loop and the batched executor's
+// bail-outs go through its step method, so there is exactly one
+// implementation of general event semantics.
+type runExec struct {
+	m        *Machine
+	tr       *trace.Trace
+	cfg      *Config
+	clock    float64
+	powerOps int
+}
+
+// step executes one event through the general path.
+func (e *runExec) step(i int) error {
+	ev := &e.tr.Events[i]
+	e.clock += ev.GapMS
+	switch ev.Kind {
+	case trace.EvPowerOp:
+		if e.cfg.IgnorePowerOps {
+			return nil
+		}
+		op := &ev.Op
+		switch op.Kind {
+		case trace.OpSpinDown:
+			e.m.SpinDownAt(op.Disk, e.clock)
+		case trace.OpSpinUp:
+			e.m.SpinUpAt(op.Disk, e.clock)
+		case trace.OpSetRPM:
+			e.m.SetRPMAt(op.Disk, e.clock, op.RPM)
+		}
+		e.powerOps++
+		e.clock += e.cfg.PowerCallOverheadMS
+	case trace.EvRequest:
+		d := ev.Req.Disk
+		if e.cfg.Policy != nil {
+			e.cfg.Policy.BeforeService(e.m, d, e.clock)
+		}
+		end, err := e.m.ServiceBlock(d, e.clock, ev.Req.Bytes, ev.Req.Block)
+		if err != nil {
+			return err
+		}
+		if e.cfg.Policy != nil {
+			e.cfg.Policy.AfterService(e.m, d, end, end-e.clock)
+		}
+		e.clock = end
+	}
+	return nil
+}
+
 // Run simulates the trace under the configuration and returns the
 // result.
 func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	if err := cfg.Disk.Validate(); err != nil {
 		return nil, err
 	}
-	if err := tr.Validate(); err != nil {
-		return nil, err
+	// A compiled form whose NumEvents matches carries a Validated flag
+	// from compile time; trusting it saves a full trace walk per run
+	// (the engine runs many schemes over one memoized trace). A nil or
+	// mismatched form falls back to validating here.
+	comp := cfg.Compiled
+	if comp != nil && comp.NumEvents != len(tr.Events) {
+		comp = nil
+	}
+	if comp == nil || !comp.Validated {
+		if err := tr.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.PowerCallOverheadMS < 0 {
 		return nil, fmt.Errorf("sim: negative power call overhead")
@@ -133,52 +204,72 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 		}
 		m.AttachFaults(cfg.Faults)
 	}
+	// Batching eligibility: the distance-aware seek model carries
+	// per-request head state the fast path does not track, and a
+	// policy must describe its decision horizon to be skipped over.
+	var hz Horizon
+	batching := !cfg.DisableBatch && !cfg.DistanceAwareSeek
+	if cfg.Policy != nil {
+		if hp, ok := cfg.Policy.(HorizonPolicy); ok {
+			hz = hp.Horizon()
+		} else {
+			batching = false
+		}
+	}
+	if batching && comp == nil {
+		comp = trace.Compile(tr)
+	}
 	// Size the per-disk idle-period lists exactly (one idle period per
 	// request plus the trailing one) so the event loop never grows
 	// them.
-	perDisk := make([]int, tr.NumDisks)
-	for i := range tr.Events {
-		if tr.Events[i].Kind == trace.EvRequest {
-			perDisk[tr.Events[i].Req.Disk]++
+	var perDisk []int
+	if comp != nil {
+		perDisk = comp.PerDisk
+	} else {
+		perDisk = make([]int, tr.NumDisks)
+		for i := range tr.Events {
+			if tr.Events[i].Kind == trace.EvRequest {
+				perDisk[tr.Events[i].Req.Disk]++
+			}
 		}
 	}
 	m.ReserveIdles(perDisk)
-	clock := 0.0
-	powerOps := 0
-	for i := range tr.Events {
-		ev := &tr.Events[i]
-		clock += ev.GapMS
-		switch ev.Kind {
-		case trace.EvPowerOp:
-			if cfg.IgnorePowerOps {
+	e := runExec{m: m, tr: tr, cfg: &cfg}
+	if batching {
+		ri := 0
+		i := 0
+		for i < len(tr.Events) {
+			if ri < len(comp.Runs) && comp.Runs[ri].Start == i {
+				run := &comp.Runs[ri]
+				ri++
+				for i < run.End {
+					i, e.clock = m.serviceRun(tr.Events, i, run, e.clock, hz, cfg.Policy)
+					if i < run.End {
+						// One event through the general path (a policy
+						// action, fault hit, or transitional disk
+						// state), then back to the fast loop.
+						if err := e.step(i); err != nil {
+							return nil, err
+						}
+						i++
+					}
+				}
 				continue
 			}
-			op := &ev.Op
-			switch op.Kind {
-			case trace.OpSpinDown:
-				m.SpinDownAt(op.Disk, clock)
-			case trace.OpSpinUp:
-				m.SpinUpAt(op.Disk, clock)
-			case trace.OpSetRPM:
-				m.SetRPMAt(op.Disk, clock, op.RPM)
-			}
-			powerOps++
-			clock += cfg.PowerCallOverheadMS
-		case trace.EvRequest:
-			d := ev.Req.Disk
-			if cfg.Policy != nil {
-				cfg.Policy.BeforeService(m, d, clock)
-			}
-			end, err := m.ServiceBlock(d, clock, ev.Req.Bytes, ev.Req.Block)
-			if err != nil {
+			if err := e.step(i); err != nil {
 				return nil, err
 			}
-			if cfg.Policy != nil {
-				cfg.Policy.AfterService(m, d, end, end-clock)
+			i++
+		}
+	} else {
+		for i := range tr.Events {
+			if err := e.step(i); err != nil {
+				return nil, err
 			}
-			clock = end
 		}
 	}
+	clock := e.clock
+	powerOps := e.powerOps
 	if cfg.Policy != nil {
 		cfg.Policy.Finish(m, clock)
 	}

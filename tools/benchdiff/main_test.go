@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const oldText = `goos: linux
+BenchmarkSimHotPath-8       	    2283	    536177 ns/op	  333128 B/op	      24 allocs/op
+BenchmarkOpenLoopHotPath-8  	    2074	    579136 ns/op	  333064 B/op	      30 allocs/op
+PASS
+`
+
+func TestBenchdiffWithinTolerance(t *testing.T) {
+	oldP := write(t, "old.txt", oldText)
+	newP := write(t, "new.txt", strings.ReplaceAll(oldText, "536177", "540000"))
+	var sb strings.Builder
+	code, err := run(&sb, oldP, newP, 25, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; output:\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "within 25% tolerance") {
+		t.Errorf("missing summary line:\n%s", sb.String())
+	}
+}
+
+func TestBenchdiffRegression(t *testing.T) {
+	oldP := write(t, "old.txt", oldText)
+	newP := write(t, "new.txt", strings.ReplaceAll(oldText, "536177", "936177"))
+	var sb strings.Builder
+	code, err := run(&sb, oldP, newP, 25, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Errorf("missing REGRESSION verdict:\n%s", sb.String())
+	}
+}
+
+func TestBenchdiffImprovementPasses(t *testing.T) {
+	oldP := write(t, "old.txt", oldText)
+	newP := write(t, "new.txt", strings.ReplaceAll(oldText, "536177", "110000"))
+	var sb strings.Builder
+	code, err := run(&sb, oldP, newP, 25, "")
+	if err != nil || code != 0 {
+		t.Fatalf("exit %d err %v; output:\n%s", code, err, sb.String())
+	}
+}
+
+func TestBenchdiffJSONInput(t *testing.T) {
+	oldP := write(t, "old.json", `{
+  "SimHotPath": {"ns_per_op": 536177, "bytes_per_op": 333128, "allocs_per_op": 24, "iterations": 2283}
+}`)
+	newP := write(t, "new.txt", oldText)
+	var sb strings.Builder
+	code, err := run(&sb, oldP, newP, 25, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; output:\n%s", code, sb.String())
+	}
+	// OpenLoopHotPath exists only in NEW: warned about, not fatal.
+	if !strings.Contains(sb.String(), "warning: OpenLoopHotPath only in") {
+		t.Errorf("missing one-sided warning:\n%s", sb.String())
+	}
+}
+
+func TestBenchdiffFilter(t *testing.T) {
+	oldP := write(t, "old.txt", oldText)
+	newP := write(t, "new.txt", strings.ReplaceAll(oldText, "579136", "979136"))
+	var sb strings.Builder
+	// OpenLoopHotPath regressed, but the filter excludes it.
+	code, err := run(&sb, oldP, newP, 25, "^SimHotPath$")
+	if err != nil || code != 0 {
+		t.Fatalf("exit %d err %v; output:\n%s", code, err, sb.String())
+	}
+}
+
+func TestBenchdiffNoOverlap(t *testing.T) {
+	oldP := write(t, "old.txt", oldText)
+	newP := write(t, "new.txt", "BenchmarkOther-8 100 5 ns/op\nPASS\n")
+	var sb strings.Builder
+	if _, err := run(&sb, oldP, newP, 25, ""); err == nil {
+		t.Fatal("want error for disjoint benchmark sets")
+	}
+}

@@ -23,7 +23,7 @@ import (
 	"os"
 	"sort"
 
-	"sdpm/tools/benchjson/internal/benchparse"
+	"sdpm/tools/internal/benchparse"
 )
 
 func main() {
