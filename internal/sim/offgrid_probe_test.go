@@ -1,0 +1,28 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"sdpm/internal/disk"
+	"sdpm/internal/trace"
+)
+
+func TestOffGridRPMBatchProbe(t *testing.T) {
+	tr := &trace.Trace{NumDisks: 1}
+	tr.Events = append(tr.Events, trace.Event{Kind: trace.EvPowerOp,
+		Op: trace.PowerOp{Kind: trace.OpSetRPM, Disk: 0, RPM: 7000}})
+	for i := 0; i < 8; i++ {
+		tr.Events = append(tr.Events, trace.Event{Kind: trace.EvRequest, GapMS: 1000,
+			Req: trace.Request{ArrivalMS: float64(i) * 1000, Disk: 0, Block: int64(i), Bytes: 4096}})
+	}
+	comp := trace.Compile(tr)
+	fmt.Printf("runs: %+v\n", comp.Runs)
+	p := disk.DefaultParams()
+	fmt.Printf("LevelIndex(7000)=%d\n", p.LevelIndex(7000))
+	res, err := Run(tr, Config{Disk: p})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	fmt.Printf("energy=%v rpm-resid=%v\n", res.Stats[0].EnergyJ, res.Stats[0].RPMResidencyMS)
+}
