@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short vet race fuzz-smoke bench bench-json bench-diff experiments golden golden-drift examples cover clean
+.PHONY: all check build test test-short vet race fuzz-smoke bench bench-json bench-diff experiments golden golden-drift examples cover cover-all clean
 
 all: check
 
@@ -25,10 +25,12 @@ vet:
 
 # race runs the race detector where concurrency lives: the worker
 # pool (including cancellation), the memoizing instance cache, the
-# simulator, the fault-injection plan shared across workers, and the
-# journal appended to by concurrent experiment cells.
+# simulator, the fault-injection plan shared across workers, the
+# journal appended to by concurrent experiment cells, and the
+# observability layer (collector snapshots and the event ring, both
+# written by concurrent simulation runs).
 race:
-	$(GO) test -race ./internal/runner ./internal/core ./internal/sim ./internal/faults ./internal/journal
+	$(GO) test -race ./internal/runner ./internal/core ./internal/sim ./internal/faults ./internal/journal ./internal/obs ./internal/obs/events
 
 # fuzz-smoke gives each fuzz target a short budget — enough to shake
 # out parser and numeric regressions on every CI run without turning
@@ -41,6 +43,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/faults
 	$(GO) test -run='^$$' -fuzz=FuzzBreakEven -fuzztime=$(FUZZTIME) ./internal/disk
 	$(GO) test -run='^$$' -fuzz=FuzzJournalDecode -fuzztime=$(FUZZTIME) ./internal/journal
+	$(GO) test -run='^$$' -fuzz=FuzzEventDecode -fuzztime=$(FUZZTIME) ./internal/obs/events
 
 # bench records the root experiment benchmarks (including the
 # Sequential/Parallel suite pair) and the simulator hot-path
@@ -89,7 +92,20 @@ examples:
 	$(GO) run ./examples/customdsl
 	$(GO) run ./examples/sweep
 
+# cover writes a coverage profile for the observability layer and
+# enforces a floor on its aggregate statement coverage — the event
+# log and exporters are pure data plumbing, so near-total coverage is
+# cheap and regressions there mean untested rendering paths.
+OBS_COVER_MIN ?= 85
 cover:
+	mkdir -p results
+	$(GO) test -coverprofile=results/cover_obs.out ./internal/obs/...
+	@$(GO) tool cover -func=results/cover_obs.out | tail -1
+	@total=$$($(GO) tool cover -func=results/cover_obs.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
+	awk -v t="$$total" -v min="$(OBS_COVER_MIN)" 'BEGIN { if (t+0 < min+0) { printf "coverage %.1f%% below the %s%% floor for internal/obs/...\n", t, min; exit 1 } }'
+
+# cover-all is the informal whole-repo view (no threshold).
+cover-all:
 	$(GO) test -cover ./...
 
 clean:

@@ -15,6 +15,15 @@
 //	                    after the experiments complete; "-" writes to
 //	                    stderr so stdout keeps only the tables. Files
 //	                    are written atomically (tmp + fsync + rename).
+//	-events-out FILE    write the suite's decision-provenance event
+//	                    log as JSON Lines after the experiments (every
+//	                    power decision with trigger, inputs, measured
+//	                    idle, and energy regret, plus bail-outs, fault
+//	                    lifecycle, retries, and journal hits/misses);
+//	                    "-" writes to stderr. Query with dpmquery.
+//	-http ADDR          serve live introspection while the suite runs:
+//	                    /metrics (Prometheus), /status (JSON snapshot
+//	                    of the runner's gauges), /debug/pprof/
 //	-v / -q             debug-level / warnings-only structured logs
 //
 // Robustness:
@@ -45,6 +54,7 @@ import (
 
 	"sdpm"
 	"sdpm/internal/cli"
+	"sdpm/internal/obs"
 )
 
 func main() {
@@ -53,6 +63,9 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines per experiment (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus text-format metrics to this file after the experiments (- for stderr)")
+	eventsOut := flag.String("events-out", "", "write the decision-provenance event log as JSON Lines to this file after the experiments (- for stderr); query with dpmquery")
+	eventsCap := flag.Int("events-cap", 0, "event ring capacity for -events-out (0 = default; oldest events drop past the cap)")
+	httpAddr := flag.String("http", "", "serve live /metrics, /status, and /debug/pprof on this address (e.g. :6060) while the experiments run")
 	faultSpec := flag.String("faults", "", "fault-injection spec: preset (off/light/moderate/heavy), key=value list, or @file; empty = fault-free")
 	faultSeed := flag.Int64("fault-seed", 1, "fault schedule seed; the same seed reproduces the exact fault pattern at any -workers count")
 	journalPath := flag.String("journal", "", "record completed experiment cells to this crash-safe journal file")
@@ -96,6 +109,29 @@ func main() {
 		}
 		opts.Metrics = dst
 	}
+	var eventsBuf *bytes.Buffer
+	if *eventsOut != "" {
+		var dst io.Writer = os.Stderr
+		if *eventsOut != "-" {
+			eventsBuf = &bytes.Buffer{}
+			dst = eventsBuf
+		}
+		opts.Events = dst
+		opts.EventCapacity = *eventsCap
+	}
+	if *httpAddr != "" {
+		// A shared collector lets the endpoint scrape the suite live;
+		// -metrics-out (if also set) dumps the same collector at the end.
+		opts.Collector = obs.New()
+		id := *run
+		_, shutdown, err := cli.StartDebugServer(*httpAddr, opts.Collector, func() any {
+			return map[string]any{"tool": "dpmexp", "run": id}
+		})
+		if err != nil {
+			cli.Fatal(err)
+		}
+		defer shutdown()
+	}
 	runErr := sdpm.RunExperiments(*run, os.Stdout, opts)
 	if metricsBuf != nil {
 		// RunExperiments wrote (possibly partial) metrics even on
@@ -108,6 +144,18 @@ func main() {
 			runErr = err
 		}
 		slog.Debug("metrics written", "path", *metricsOut)
+	}
+	if eventsBuf != nil {
+		// Like metrics, the (possibly partial) event log is flushed
+		// even when the run failed or was canceled.
+		err := cli.WriteFileAtomic(*eventsOut, func(w io.Writer) error {
+			_, werr := w.Write(eventsBuf.Bytes())
+			return werr
+		})
+		if err != nil && runErr == nil {
+			runErr = err
+		}
+		slog.Debug("event log written", "path", *eventsOut)
 	}
 	if runErr != nil {
 		cli.Fatal(runErr)

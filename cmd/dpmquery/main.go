@@ -1,0 +1,198 @@
+// Command dpmquery filters, aggregates, and diffs the decision-
+// provenance event logs written by dpmsim/dpmexp -events-out.
+//
+// Usage:
+//
+//	dpmsim -trace swim.trace -policy tpm -events-out tpm.jsonl
+//	dpmquery -in tpm.jsonl                  # summary: kinds + regret
+//	dpmquery -in tpm.jsonl -top 10          # worst decisions by regret
+//	dpmquery -in tpm.jsonl -mispredict      # spin-up miss timeline
+//	dpmquery -in tpm.jsonl -bailouts        # batching bail-out histogram
+//	dpmquery -in tpm.jsonl -diff drpm.jsonl # A-vs-B regret comparison
+//
+// Filters (-kind, -policy, -disk) restrict every mode's input; the
+// summary and aggregate views then cover only the matching events.
+// Counts derived here (for example spin-up mispredictions) match the
+// metrics collector's counters for the same run: the event log is a
+// superset of the aggregate metrics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"sdpm/internal/cli"
+	"sdpm/internal/obs/events"
+)
+
+func main() {
+	in := flag.String("in", "", "event log to query (JSON Lines from -events-out; - for stdin)")
+	kind := flag.String("kind", "", "keep only events of this kind (spin_down, spin_up, rpm_shift, spinup_miss, bailout, fault, ...)")
+	pol := flag.String("policy", "", "keep only events of this policy/scheme label")
+	diskF := flag.Int("disk", -1, "keep only events of this disk (-1 = all)")
+	top := flag.Int("top", 0, "print the N decisions with the highest energy regret")
+	mispredict := flag.Bool("mispredict", false, "print spin-up misprediction counts and their timeline")
+	bailouts := flag.Bool("bailouts", false, "print the batching bail-out reason histogram")
+	diff := flag.String("diff", "", "second event log: compare per-policy/disk regret A (-in) vs B (-diff)")
+	verbose, quiet := cli.LogFlags(flag.CommandLine)
+	flag.Parse()
+	cli.SetupLogging("dpmquery", *verbose, *quiet)
+
+	if *in == "" {
+		cli.Fatal(fmt.Errorf("-in is required"))
+	}
+	evs, err := loadLog(*in)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	evs = events.Filter(evs, *kind, *pol, *diskF)
+	out := os.Stdout
+
+	switch {
+	case *diff != "":
+		other, err := loadLog(*diff)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		other = events.Filter(other, *kind, *pol, *diskF)
+		printDiff(out, *in, *diff, evs, other)
+	case *top > 0:
+		printTop(out, evs, *top)
+	case *mispredict:
+		printMispredict(out, evs)
+	case *bailouts:
+		printHistogram(out, "bail-out reason", events.CountByDetail(evs, events.KindBailout))
+	default:
+		printSummary(out, evs)
+	}
+}
+
+// loadLog reads one JSONL event log ("-" for stdin).
+func loadLog(path string) ([]events.Event, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return events.DecodeJSONL(r)
+}
+
+// printSummary renders the default view: event counts by kind and the
+// per-policy/disk energy-regret aggregation.
+func printSummary(w io.Writer, evs []events.Event) {
+	fmt.Fprintf(w, "events       %d\n", len(evs))
+	printHistogram(w, "kind", events.CountByKind(evs))
+	groups := events.AggregateRegret(evs)
+	if len(groups) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nenergy regret by policy/disk (actual - oracle, J):\n")
+	fmt.Fprintf(w, "%-12s %5s %10s %10s %12s %12s %12s\n",
+		"policy", "disk", "decisions", "attrib", "actual(J)", "oracle(J)", "regret(J)")
+	var totActual, totOracle, totRegret float64
+	for _, g := range groups {
+		fmt.Fprintf(w, "%-12s %5d %10d %10d %12.3f %12.3f %12.3f\n",
+			g.Policy, g.Disk, g.Decisions, g.Attributed, g.ActualJ, g.OracleJ, g.RegretJ)
+		totActual += g.ActualJ
+		totOracle += g.OracleJ
+		totRegret += g.RegretJ
+	}
+	fmt.Fprintf(w, "%-12s %5s %10s %10s %12.3f %12.3f %12.3f\n",
+		"total", "", "", "", totActual, totOracle, totRegret)
+}
+
+// printTop renders the N decisions with the highest energy regret.
+func printTop(w io.Writer, evs []events.Event, n int) {
+	worst := events.TopRegret(evs, n)
+	fmt.Fprintf(w, "%-10s %12s %-10s %5s %-10s %12s %12s %12s\n",
+		"kind", "t(ms)", "policy", "disk", "trigger", "pred(ms)", "idle(ms)", "regret(J)")
+	for _, e := range worst {
+		fmt.Fprintf(w, "%-10s %12.2f %-10s %5d %-10s %12.2f %12.2f %12.3f\n",
+			e.Kind, e.TMS, e.Policy, e.Disk, e.Trigger, e.PredictedIdleMS, e.MeasuredIdleMS, e.RegretJ)
+	}
+}
+
+// printMispredict renders the spin-up misprediction counts (the same
+// numbers the metrics collector reports) and their timeline.
+func printMispredict(w io.Writer, evs []events.Event) {
+	ondemand, inflight := events.MissCounts(evs)
+	fmt.Fprintf(w, "spin-up misses   %d on-demand, %d in-flight\n", ondemand, inflight)
+	misses := events.Filter(evs, events.KindSpinupMiss, "", -1)
+	if len(misses) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-12s %5s %-10s %12s %12s %-10s\n",
+		"t(ms)", "disk", "policy", "idle(ms)", "wait(ms)", "kind")
+	for _, e := range misses {
+		fmt.Fprintf(w, "%-12.2f %5d %-10s %12.2f %12.2f %-10s\n",
+			e.TMS, e.Disk, e.Policy, e.MeasuredIdleMS, e.WindowMS, e.Detail)
+	}
+}
+
+// printHistogram renders a count map sorted by key.
+func printHistogram(w io.Writer, label string, counts map[string]int) {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%-20s %8d  (%s)\n", k, counts[k], label)
+	}
+}
+
+// printDiff compares per-policy/disk regret between two logs.
+func printDiff(w io.Writer, nameA, nameB string, a, b []events.Event) {
+	type key struct {
+		policy string
+		disk   int
+	}
+	ga, gb := events.AggregateRegret(a), events.AggregateRegret(b)
+	rows := map[key][2]*events.RegretGroup{}
+	for i := range ga {
+		k := key{ga[i].Policy, ga[i].Disk}
+		r := rows[k]
+		r[0] = &ga[i]
+		rows[k] = r
+	}
+	for i := range gb {
+		k := key{gb[i].Policy, gb[i].Disk}
+		r := rows[k]
+		r[1] = &gb[i]
+		rows[k] = r
+	}
+	keys := make([]key, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].policy != keys[j].policy {
+			return keys[i].policy < keys[j].policy
+		}
+		return keys[i].disk < keys[j].disk
+	})
+	fmt.Fprintf(w, "A = %s\nB = %s\n", nameA, nameB)
+	fmt.Fprintf(w, "%-12s %5s %12s %12s %12s\n", "policy", "disk", "regretA(J)", "regretB(J)", "B-A(J)")
+	var da, db float64
+	for _, k := range keys {
+		r := rows[k]
+		var ra, rb float64
+		if r[0] != nil {
+			ra = r[0].RegretJ
+		}
+		if r[1] != nil {
+			rb = r[1].RegretJ
+		}
+		fmt.Fprintf(w, "%-12s %5d %12.3f %12.3f %+12.3f\n", k.policy, k.disk, ra, rb, rb-ra)
+		da += ra
+		db += rb
+	}
+	fmt.Fprintf(w, "%-12s %5s %12.3f %12.3f %+12.3f\n", "total", "", da, db, db-da)
+}

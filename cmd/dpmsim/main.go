@@ -19,7 +19,19 @@
 //	                    stdout stays pure Prometheus exposition
 //	-trace-out FILE     write a Chrome trace-event / Perfetto JSON
 //	                    timeline of the run (open in ui.perfetto.dev
-//	                    or chrome://tracing); single-policy runs only
+//	                    or chrome://tracing); single-policy runs only.
+//	                    With -events-out, decision and fault events
+//	                    are merged in as annotated instants
+//	-events-out FILE    write the decision-provenance event log as
+//	                    JSON Lines after the run: every spin-down/
+//	                    spin-up/RPM-shift with its trigger, inputs,
+//	                    measured idle, and energy regret, plus fault
+//	                    lifecycle and batching bail-outs; query the
+//	                    file with dpmquery. "-" writes to stdout and
+//	                    moves the report to stderr
+//	-http ADDR          serve live introspection for the run's
+//	                    duration: /metrics (Prometheus), /status
+//	                    (JSON snapshot), /debug/pprof/
 //	-audit              verify conservation invariants (energy/time
 //	                    bookkeeping, state-machine legality) after the
 //	                    run; fail loudly on any violation
@@ -44,6 +56,7 @@ import (
 	"sdpm/internal/disk"
 	"sdpm/internal/faults"
 	"sdpm/internal/obs"
+	"sdpm/internal/obs/events"
 	"sdpm/internal/policy"
 	"sdpm/internal/runner"
 	"sdpm/internal/sim"
@@ -62,7 +75,10 @@ func main() {
 	timeline := flag.Int("timeline", 0, "print up to N timeline segments per disk")
 	workers := flag.Int("workers", 0, "worker goroutines for -policy all (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus text-format metrics to this file after the run (- for stdout; the report then moves to stderr)")
-	traceOut := flag.String("trace-out", "", "write a Chrome trace-event / Perfetto JSON timeline to this file (single-policy runs)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event / Perfetto JSON timeline to this file (single-policy runs; decision/fault events are merged in when -events-out is also set)")
+	eventsOut := flag.String("events-out", "", "write the decision-provenance event log as JSON Lines to this file after the run (- for stdout; the report then moves to stderr); query with dpmquery")
+	eventsCap := flag.Int("events-cap", 0, "event ring capacity for -events-out (0 = default; oldest events drop past the cap)")
+	httpAddr := flag.String("http", "", "serve live /metrics, /status, and /debug/pprof on this address (e.g. :6060) for the run's duration")
 	faultSpec := flag.String("faults", "", "fault-injection spec: preset (off/light/moderate/heavy), key=value list, or @file; empty = fault-free")
 	faultSeed := flag.Int64("fault-seed", 1, "fault schedule seed; the same seed reproduces the exact fault pattern")
 	audit := flag.Bool("audit", false, "verify conservation invariants (energy/time bookkeeping, state-machine legality) after the run; fail on any violation")
@@ -92,13 +108,17 @@ func main() {
 	slog.Debug("trace loaded", "program", tr.Program, "events", len(tr.Events), "disks", tr.NumDisks)
 
 	var coll *obs.Collector
-	if *metricsOut != "" {
+	if *metricsOut != "" || *httpAddr != "" {
 		coll = obs.New()
 	}
-	// With metrics on stdout, the human-readable report moves to
-	// stderr so stdout remains valid Prometheus exposition.
+	var evLog *events.Log
+	if *eventsOut != "" {
+		evLog = events.NewLog(*eventsCap)
+	}
+	// With metrics or events on stdout, the human-readable report
+	// moves to stderr so stdout remains pure machine output.
 	report := io.Writer(os.Stdout)
-	if *metricsOut == "-" {
+	if *metricsOut == "-" || *eventsOut == "-" {
 		report = os.Stderr
 	}
 
@@ -110,7 +130,18 @@ func main() {
 		RecordTimeline:      *timeline > 0 || *traceOut != "",
 		Audit:               *audit,
 		Obs:                 coll,
+		Events:              evLog,
 		DisableBatch:        !*batch,
+	}
+	if *httpAddr != "" {
+		prog, pol := tr.Program, *pol
+		_, shutdown, err := cli.StartDebugServer(*httpAddr, coll, func() any {
+			return map[string]any{"tool": "dpmsim", "program": prog, "policy": pol}
+		})
+		if err != nil {
+			cli.Fatal(err)
+		}
+		defer shutdown()
 	}
 	if *faultSpec != "" {
 		fc, err := faults.ParseSpec(*faultSpec)
@@ -138,9 +169,11 @@ func main() {
 		}
 		if err := runAll(ctx, report, tr, baseCfg, *openLoop, *workers, coll); err != nil {
 			writeMetrics(*metricsOut, coll)
+			writeEvents(*eventsOut, evLog)
 			cli.Fatal(err)
 		}
 		writeMetrics(*metricsOut, coll)
+		writeEvents(*eventsOut, evLog)
 		return
 	}
 
@@ -152,6 +185,7 @@ func main() {
 	res, err := runOnce(tr, cfg, *openLoop)
 	if err != nil {
 		writeMetrics(*metricsOut, coll)
+		writeEvents(*eventsOut, evLog)
 		cli.Fatal(err)
 	}
 	slog.Debug("run complete", "policy", *pol, "energy_j", res.EnergyJ, "exec_ms", res.ExecMS)
@@ -209,9 +243,10 @@ func main() {
 		}
 	}
 	if *traceOut != "" {
-		writeTraceFile(*traceOut, res)
+		writeTraceFile(*traceOut, res, evLog)
 	}
 	writeMetrics(*metricsOut, coll)
+	writeEvents(*eventsOut, evLog)
 }
 
 // writeMetrics dumps the collector in Prometheus text format to the
@@ -235,16 +270,47 @@ func writeMetrics(path string, coll *obs.Collector) {
 	slog.Debug("metrics written", "path", path)
 }
 
-// writeTraceFile dumps the run's recorded timelines as Chrome
-// trace-event JSON ("-" for stdout); file writes are atomic.
-func writeTraceFile(path string, res *sim.Result) {
+// writeEvents dumps the decision-provenance event log as JSON Lines
+// to the named file ("-" for stdout); empty name or nil log is a
+// no-op. File writes are atomic (temp file + fsync + rename).
+func writeEvents(path string, log *events.Log) {
+	if path == "" || log == nil {
+		return
+	}
+	evs := log.Events()
+	if n := log.Dropped(); n > 0 {
+		slog.Warn("event ring overflowed; oldest events dropped", "dropped", n, "kept", len(evs))
+	}
 	var err error
 	if path == "-" {
-		err = sim.WriteChromeTrace(os.Stdout, res)
+		err = events.WriteJSONL(os.Stdout, evs)
 	} else {
 		err = cli.WriteFileAtomic(path, func(w io.Writer) error {
-			return sim.WriteChromeTrace(w, res)
+			return events.WriteJSONL(w, evs)
 		})
+	}
+	if err != nil {
+		cli.Fatal(err)
+	}
+	slog.Debug("event log written", "path", path, "events", len(evs))
+}
+
+// writeTraceFile dumps the run's recorded timelines as Chrome
+// trace-event JSON ("-" for stdout); file writes are atomic. When an
+// event log was collected, its decision and fault events are merged
+// in as annotated instants on the disk tracks.
+func writeTraceFile(path string, res *sim.Result, log *events.Log) {
+	write := func(w io.Writer) error {
+		if log != nil {
+			return sim.WriteChromeTraceAnnotated(w, res, log.Events())
+		}
+		return sim.WriteChromeTrace(w, res)
+	}
+	var err error
+	if path == "-" {
+		err = write(os.Stdout)
+	} else {
+		err = cli.WriteFileAtomic(path, write)
 	}
 	if err != nil {
 		cli.Fatal(err)

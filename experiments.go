@@ -11,6 +11,7 @@ import (
 	"sdpm/internal/faults"
 	"sdpm/internal/journal"
 	"sdpm/internal/obs"
+	"sdpm/internal/obs/events"
 	"sdpm/internal/stats"
 )
 
@@ -43,6 +44,26 @@ type Options struct {
 	// faults) after the experiments complete — or after cancellation,
 	// when partial metrics are still flushed.
 	Metrics io.Writer
+	// Collector, when non-nil, is the metrics collector the suite
+	// reports into — pass one to scrape metrics live (e.g. through
+	// cli.StartDebugServer) while the experiments run. When nil and
+	// Metrics is set, a private collector is created; Metrics dumps
+	// whichever collector was used after the run.
+	Collector *obs.Collector
+	// Events, when non-nil, receives the suite's decision-provenance
+	// event log as JSON Lines after the experiments complete (or after
+	// cancellation — partial logs are still flushed): every power
+	// decision with its trigger, inputs, measured idle, and energy
+	// regret, plus batching bail-outs, fault lifecycle, worker-pool
+	// retries/panics, and journal hits/misses. Query the file with
+	// dpmquery. Event collection never changes results (simulation
+	// output is bit-identical with and without it).
+	Events io.Writer
+	// EventCapacity bounds the in-memory event ring when Events is
+	// set; 0 selects events.DefaultCapacity. When the run emits more
+	// events than the ring holds, the oldest are dropped (the JSONL
+	// output then starts at the earliest retained event).
+	EventCapacity int
 	// Ctx, when non-nil, cancels in-flight experiments: worker pools
 	// stop claiming cells, the current experiment returns the
 	// context's error, and metrics accumulated so far are still
@@ -126,8 +147,13 @@ func RunExperiments(id string, out io.Writer, opts Options) error {
 	s.Cfg.Audit = opts.Audit
 	s.Cfg.DisableBatch = opts.DisableBatch
 	s.Retries = opts.Retries
-	if opts.Metrics != nil {
+	if opts.Collector != nil {
+		s.Obs = opts.Collector
+	} else if opts.Metrics != nil {
 		s.Obs = obs.New()
+	}
+	if opts.Events != nil {
+		s.Events = events.NewLog(opts.EventCapacity)
 	}
 	if opts.Journal != "" {
 		var (
@@ -153,6 +179,11 @@ func RunExperiments(id string, out io.Writer, opts Options) error {
 	err := runSelected(s, id, out, format, opts.Ctx)
 	if merr := writeMetrics(opts.Metrics, s.Obs); err == nil {
 		err = merr
+	}
+	if s.Events != nil {
+		if eerr := events.WriteJSONL(opts.Events, s.Events.Events()); err == nil {
+			err = eerr
+		}
 	}
 	// Finalize (compact + atomic rename) the journal only on full
 	// success; on failure or cancellation just close it, keeping every

@@ -1,0 +1,76 @@
+package cli
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"sdpm/internal/obs"
+)
+
+// StartDebugServer starts the tools' live introspection endpoint on
+// addr (e.g. ":6060"; ":0" picks a free port) and returns the bound
+// address plus a shutdown function. It serves:
+//
+//	/metrics       Prometheus text exposition of the collector,
+//	               rendered from a consistent snapshot (a scrape
+//	               mid-run never sees torn count/sum pairs)
+//	/status        a JSON snapshot of the same counters plus an
+//	               optional application status value (experiment or
+//	               run identity, progress), for humans and scripts
+//	/debug/pprof/  the standard net/http/pprof profiles
+//
+// The server runs on a background goroutine and never blocks the run
+// it observes: handlers only read atomics. status may be nil; coll
+// may be nil (the endpoints then render empty data rather than 500s,
+// so -http works even without -metrics-out).
+func StartDebugServer(addr string, coll *obs.Collector, status func() any) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := obs.WritePrometheus(w, coll); err != nil {
+			slog.Warn("metrics scrape failed", "err", err)
+		}
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		var app any
+		if status != nil {
+			app = status()
+		}
+		body := struct {
+			App     any           `json:"app,omitempty"`
+			Metrics *obs.Snapshot `json:"metrics"`
+		}{App: app}
+		if coll != nil {
+			snap := coll.Snapshot()
+			body.Metrics = &snap
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(body); err != nil {
+			slog.Warn("status render failed", "err", err)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			slog.Warn("debug server stopped", "err", err)
+		}
+	}()
+	bound := ln.Addr().String()
+	slog.Info("debug endpoint listening", "addr", bound)
+	return bound, func() { _ = srv.Close() }, nil
+}

@@ -10,6 +10,7 @@ import (
 	"sdpm/internal/ir"
 	"sdpm/internal/layout"
 	"sdpm/internal/obs"
+	"sdpm/internal/obs/events"
 )
 
 // Cache memoizes prepared instances so the expensive front half of
@@ -32,6 +33,10 @@ type Cache struct {
 	// Instance (so simulation runs on cached instances are observed
 	// too). Set it before first use.
 	Obs *obs.Collector
+	// Events, when non-nil, is propagated onto each prepared Instance
+	// the same way (decision-provenance events from runs on cached
+	// instances land in one shared log). Set it before first use.
+	Events *events.Log
 
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
@@ -109,6 +114,7 @@ func (c *Cache) Prepare(name string, p *ir.Program, cfg Config, overrides map[st
 		e.in, e.err = Prepare(name, p, cfg, overrides)
 		if e.in != nil {
 			e.in.Obs = c.Obs
+			e.in.Events = c.Events
 		}
 		e.done.Store(true)
 	})
@@ -164,6 +170,7 @@ func (c *Cache) PrepareVersion(name string, p *ir.Program, v Version, cfg Config
 		e.in, e.err = Prepare(name+"/"+string(v), tp, cfg, overrides)
 		if e.in != nil {
 			e.in.Obs = c.Obs
+			e.in.Events = c.Events
 		}
 		e.applied = applied
 	})

@@ -18,6 +18,7 @@ import (
 	"sdpm/internal/ir"
 	"sdpm/internal/layout"
 	"sdpm/internal/obs"
+	"sdpm/internal/obs/events"
 	"sdpm/internal/oracle"
 	"sdpm/internal/policy"
 	"sdpm/internal/sim"
@@ -192,6 +193,12 @@ type Instance struct {
 	// part of the memoization key: collectors observe runs, they do
 	// not change them.
 	Obs *obs.Collector
+	// Events, when non-nil, receives decision-provenance events from
+	// every simulation run on this instance. Like Obs it is set before
+	// the first Run and excluded from the memoization key: the event
+	// log observes runs without changing them (sim.Run guarantees
+	// bit-identical results with and without a log attached).
+	Events *events.Log
 
 	// faultPlan is the derived fault schedule (nil when injection is
 	// disabled); it is immutable and shared by every run.
@@ -311,6 +318,8 @@ func (in *Instance) Run(s Scheme) (*sim.Result, error) {
 		PowerCallOverheadMS: in.Cfg.PowerCallOverheadMS,
 		DistanceAwareSeek:   in.Cfg.DistanceAwareSeek,
 		Obs:                 in.Obs,
+		Events:              in.Events,
+		SchemeLabel:         string(s),
 		Faults:              in.faultPlan,
 		Audit:               in.Cfg.Audit,
 	}
@@ -362,6 +371,8 @@ func (in *Instance) RunOpen(s Scheme) (*sim.Result, error) {
 		Disk:              in.Cfg.Disk,
 		DistanceAwareSeek: in.Cfg.DistanceAwareSeek,
 		Obs:               in.Obs,
+		Events:            in.Events,
+		SchemeLabel:       string(s) + "/open",
 		Faults:            in.faultPlan,
 		Audit:             in.Cfg.Audit,
 	}

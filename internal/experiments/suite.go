@@ -25,6 +25,7 @@ import (
 	"sdpm/internal/core"
 	"sdpm/internal/journal"
 	"sdpm/internal/obs"
+	"sdpm/internal/obs/events"
 	"sdpm/internal/runner"
 	"sdpm/internal/stats"
 	"sdpm/internal/workloads"
@@ -52,6 +53,12 @@ type Suite struct {
 	// it. Set it before the first experiment; render with
 	// obs.WritePrometheus.
 	Obs *obs.Collector
+	// Events, when non-nil, collects decision-provenance events for
+	// the whole suite: every simulation run's power decisions (with
+	// energy-regret attribution), cell retries and recovered panics
+	// from the worker pool, and journal hit/miss lifecycle events.
+	// Render with events.WriteJSONL or query with dpmquery.
+	Events *events.Log
 	// Ctx, when non-nil, cancels in-flight experiments: worker pools
 	// stop claiming cells and the running experiment returns the
 	// context's error. Results produced before cancellation remain
@@ -94,6 +101,7 @@ func (s *Suite) memo() *core.Cache {
 	s.cacheOnce.Do(func() {
 		s.cache = core.NewCache()
 		s.cache.Obs = s.Obs
+		s.cache.Events = s.Events
 	})
 	return s.cache
 }
@@ -102,7 +110,7 @@ func (s *Suite) memo() *core.Cache {
 // s.Retries. Experiments run one at a time, so a fresh pool per
 // experiment keeps the global bound.
 func (s *Suite) pool() *runner.Pool {
-	return runner.New(s.Workers).Observe(s.Obs).WithContext(s.Ctx).WithRetry(s.Retries)
+	return runner.New(s.Workers).Observe(s.Obs).Trace(s.Events).WithContext(s.Ctx).WithRetry(s.Retries)
 }
 
 // cellKey canonically identifies one experiment cell: the experiment
@@ -127,6 +135,7 @@ func (s *Suite) cell(key string, n int, compute func() ([]float64, error)) ([]fl
 	if s.Journal != nil {
 		if vals, ok := s.Journal.Lookup(key); ok && len(vals) == n {
 			s.Obs.CountJournalHit()
+			s.Events.Emit(events.Event{Kind: events.KindJournalHit, Disk: -1, Detail: key})
 			return vals, nil
 		}
 	}
@@ -139,6 +148,7 @@ func (s *Suite) cell(key string, n int, compute func() ([]float64, error)) ([]fl
 	}
 	if s.Journal != nil {
 		s.Obs.CountJournalMiss()
+		s.Events.Emit(events.Event{Kind: events.KindJournalMiss, Disk: -1, Detail: key})
 		if err := s.Journal.Append(key, vals); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,55 @@
+package events
+
+// JSONL codec for event logs: one JSON object per line, in seq
+// order. JSONL (rather than one big array) keeps logs greppable,
+// streamable, and mergeable with cat.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// maxLineBytes bounds a single encoded event line; real events are a
+// few hundred bytes, so the cap only guards the decoder against
+// pathological input.
+const maxLineBytes = 1 << 20
+
+// WriteJSONL writes events to w, one JSON object per line.
+func WriteJSONL(w io.Writer, evs []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range evs {
+		if err := enc.Encode(&evs[i]); err != nil {
+			return fmt.Errorf("events: encode event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeJSONL reads a JSONL event stream from r. Blank lines are
+// skipped; any malformed line fails the decode with its line number.
+func DecodeJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("events: line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("events: line %d: %w", line+1, err)
+	}
+	return out, nil
+}

@@ -1,0 +1,41 @@
+package events
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzEventDecode drives the JSONL decoder with arbitrary input and,
+// when the input decodes, checks the encode→decode round trip is a
+// fixed point: re-encoding the decoded events and decoding again must
+// reproduce them exactly.
+func FuzzEventDecode(f *testing.F) {
+	f.Add([]byte(`{"seq":1,"t_ms":10,"kind":"spin_down","disk":0,"trigger":"threshold","break_even_ms":1500}`))
+	f.Add([]byte(`{"seq":2,"t_ms":-1,"kind":"journal_hit","disk":-1,"detail":"lu.tpm"}` + "\n" +
+		`{"seq":3,"t_ms":99.5,"kind":"rpm_shift","disk":3,"rpm":5400,"predicted_idle_ms":800,"regret_j":0.25}`))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte(`{"kind":"spinup_miss","detail":"ondemand"}`))
+	f.Add([]byte(`{"seq":18446744073709551615,"t_ms":1e308,"kind":"bailout"}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := DecodeJSONL(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, evs); err != nil {
+			t.Fatalf("re-encode of decoded events failed: %v", err)
+		}
+		again, err := DecodeJSONL(&buf)
+		if err != nil {
+			t.Fatalf("decode of re-encoded events failed: %v", err)
+		}
+		if len(evs) == 0 && len(again) == 0 {
+			return
+		}
+		if !reflect.DeepEqual(evs, again) {
+			t.Fatalf("round trip not a fixed point:\n first  %+v\n second %+v", evs, again)
+		}
+	})
+}

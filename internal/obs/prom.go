@@ -4,78 +4,95 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 )
 
 // WritePrometheus renders the collector in Prometheus text exposition
-// format (version 0.0.4). Output is deterministic: metric families
-// appear in a fixed order, disks in index order, RPM levels ascending.
-// Histogram buckets are cumulative, as the format requires. A nil
-// collector renders an empty (but valid) exposition.
+// format (version 0.0.4). The collector is read once into a Snapshot
+// and rendered from it, so a scrape racing live writers can never
+// show a histogram whose _count disagrees with its bucket sums.
+// Output is deterministic: metric families appear in a fixed order,
+// disks in index order, RPM levels ascending. Histogram buckets are
+// cumulative, as the format requires. A nil collector renders an
+// empty (but valid) exposition.
 func WritePrometheus(w io.Writer, c *Collector) error {
-	bw := bufio.NewWriter(w)
-	if c != nil {
-		writeCounter(bw, "sdpm_sim_runs_total", "Simulation runs started.", c.simRuns.Load())
-		writeCounter(bw, "sdpm_requests_total", "Disk requests serviced.", c.requests.Load())
-		writeHistogram(bw, "sdpm_request_service_ms", "Request service time in milliseconds.", &c.serviceMS)
-		writeHistogram(bw, "sdpm_request_wait_ms", "Request readiness wait (spin-up or shift completion) in milliseconds.", &c.waitMS)
-		writeHistogram(bw, "sdpm_idle_period_ms", "Length of the inter-request idle period ending at each request, in milliseconds.", &c.idleMS)
-
-		header(bw, "sdpm_power_ops_total", "Executed power-management operations by kind.", "counter")
-		for k := PowerOpKind(0); k < numPowerOpKinds; k++ {
-			fmt.Fprintf(bw, "sdpm_power_ops_total{kind=%q} %d\n", k.String(), c.powerOps[k].Load())
-		}
-
-		header(bw, "sdpm_spinup_mispredictions_total", "Requests that blocked on a disk spin-up: ondemand = no pre-activation (disk in standby), inflight = pre-activation issued too late.", "counter")
-		fmt.Fprintf(bw, "sdpm_spinup_mispredictions_total{kind=\"ondemand\"} %d\n", c.missOnDemand.Load())
-		fmt.Fprintf(bw, "sdpm_spinup_mispredictions_total{kind=\"inflight\"} %d\n", c.missInflight.Load())
-
-		header(bw, "sdpm_faults_total", "Injected fault events by kind: spin-up failures, retries, timeout give-ups, on-demand fallbacks, bad-sector remap hits, degraded-window services.", "counter")
-		for k := FaultKind(0); k < numFaultKinds; k++ {
-			fmt.Fprintf(bw, "sdpm_faults_total{kind=%q} %d\n", k.String(), c.faults[k].Load())
-		}
-
-		if ds := c.disks.Load(); ds != nil && len(*ds) > 0 {
-			header(bw, "sdpm_disk_requests_total", "Requests serviced per disk.", "counter")
-			for d, dm := range *ds {
-				fmt.Fprintf(bw, "sdpm_disk_requests_total{disk=\"%d\"} %d\n", d, dm.requests.Load())
-			}
-			header(bw, "sdpm_disk_state_ms_total", "Per-disk residency by power state, in milliseconds.", "counter")
-			for d, dm := range *ds {
-				for st := DiskState(0); st < numDiskStates; st++ {
-					fmt.Fprintf(bw, "sdpm_disk_state_ms_total{disk=\"%d\",state=%q} %s\n",
-						d, st.String(), fmtFloat(dm.stateMS[st].Load()))
-				}
-			}
-			header(bw, "sdpm_disk_rpm_ms_total", "Per-disk spinning-time residency by RPM level, in milliseconds (zero levels omitted).", "counter")
-			for d, dm := range *ds {
-				for i := range dm.rpmMS {
-					if ms := dm.rpmMS[i].Load(); ms != 0 {
-						fmt.Fprintf(bw, "sdpm_disk_rpm_ms_total{disk=\"%d\",rpm=\"%d\"} %s\n",
-							d, dm.minRPM+i*dm.rpmStep, fmtFloat(ms))
-					}
-				}
-				if ms := dm.otherMS.Load(); ms != 0 {
-					fmt.Fprintf(bw, "sdpm_disk_rpm_ms_total{disk=\"%d\",rpm=\"other\"} %s\n", d, fmtFloat(ms))
-				}
-			}
-		}
-
-		writeCounter(bw, "sdpm_cache_hits_total", "Instance-cache hits (preparation already memoized).", c.cacheHits.Load())
-		writeCounter(bw, "sdpm_cache_misses_total", "Instance-cache misses (preparation executed).", c.cacheMisses.Load())
-		writeCounter(bw, "sdpm_cache_singleflight_waits_total", "Instance-cache callers that blocked on a concurrent preparation of the same key.", c.cacheWaits.Load())
-
-		writeCounter(bw, "sdpm_runner_tasks_total", "Worker-pool cells completed.", c.runnerTasks.Load())
-		header(bw, "sdpm_runner_busy_seconds_total", "Cumulative worker busy time in seconds.", "counter")
-		fmt.Fprintf(bw, "sdpm_runner_busy_seconds_total %s\n", fmtFloat(float64(c.runnerBusyNS.Load())/1e9))
-		writeGauge(bw, "sdpm_runner_workers_active", "Workers currently executing a cell.", c.runnerActive.Load())
-		writeGauge(bw, "sdpm_runner_queue_depth", "Cells claimed by no worker yet.", c.runnerQueue.Load())
-		writeCounter(bw, "sdpm_runner_cell_panics_total", "Worker-pool cells recovered from a panic (reported as CellError).", c.cellPanics.Load())
-		writeCounter(bw, "sdpm_runner_cell_retries_total", "Retries of failing worker-pool cells.", c.cellRetries.Load())
-
-		writeCounter(bw, "sdpm_journal_hits_total", "Experiment cells served from the result journal on resume.", c.journalHits.Load())
-		writeCounter(bw, "sdpm_journal_misses_total", "Experiment cells computed and appended to the result journal.", c.journalMisses.Load())
+	if c == nil {
+		return bufio.NewWriter(w).Flush()
 	}
+	s := c.Snapshot()
+	return WritePrometheusSnapshot(w, &s)
+}
+
+// WritePrometheusSnapshot renders a previously-taken snapshot. Live
+// endpoints that serve both /metrics and /status from one consistent
+// read use this directly.
+func WritePrometheusSnapshot(w io.Writer, s *Snapshot) error {
+	bw := bufio.NewWriter(w)
+	writeCounter(bw, "sdpm_sim_runs_total", "Simulation runs started.", s.SimRuns)
+	writeCounter(bw, "sdpm_requests_total", "Disk requests serviced.", s.Requests)
+	writeHistogram(bw, "sdpm_request_service_ms", "Request service time in milliseconds.", &s.ServiceMS)
+	writeHistogram(bw, "sdpm_request_wait_ms", "Request readiness wait (spin-up or shift completion) in milliseconds.", &s.WaitMS)
+	writeHistogram(bw, "sdpm_idle_period_ms", "Length of the inter-request idle period ending at each request, in milliseconds.", &s.IdleMS)
+
+	header(bw, "sdpm_power_ops_total", "Executed power-management operations by kind.", "counter")
+	for k := PowerOpKind(0); k < numPowerOpKinds; k++ {
+		fmt.Fprintf(bw, "sdpm_power_ops_total{kind=%q} %d\n", k.String(), s.PowerOps[k.String()])
+	}
+
+	header(bw, "sdpm_spinup_mispredictions_total", "Requests that blocked on a disk spin-up: ondemand = no pre-activation (disk in standby), inflight = pre-activation issued too late.", "counter")
+	fmt.Fprintf(bw, "sdpm_spinup_mispredictions_total{kind=\"ondemand\"} %d\n", s.MissOnDemand)
+	fmt.Fprintf(bw, "sdpm_spinup_mispredictions_total{kind=\"inflight\"} %d\n", s.MissInflight)
+
+	header(bw, "sdpm_faults_total", "Injected fault events by kind: spin-up failures, retries, timeout give-ups, on-demand fallbacks, bad-sector remap hits, degraded-window services.", "counter")
+	for k := FaultKind(0); k < numFaultKinds; k++ {
+		fmt.Fprintf(bw, "sdpm_faults_total{kind=%q} %d\n", k.String(), s.Faults[k.String()])
+	}
+
+	if len(s.Disks) > 0 {
+		header(bw, "sdpm_disk_requests_total", "Requests serviced per disk.", "counter")
+		for d := range s.Disks {
+			fmt.Fprintf(bw, "sdpm_disk_requests_total{disk=\"%d\"} %d\n", d, s.Disks[d].Requests)
+		}
+		header(bw, "sdpm_disk_state_ms_total", "Per-disk residency by power state, in milliseconds.", "counter")
+		for d := range s.Disks {
+			for st := DiskState(0); st < numDiskStates; st++ {
+				fmt.Fprintf(bw, "sdpm_disk_state_ms_total{disk=\"%d\",state=%q} %s\n",
+					d, st.String(), fmtFloat(s.Disks[d].StateMS[st.String()]))
+			}
+		}
+		header(bw, "sdpm_disk_rpm_ms_total", "Per-disk spinning-time residency by RPM level, in milliseconds (zero levels omitted).", "counter")
+		for d := range s.Disks {
+			dm := &s.Disks[d]
+			rpms := make([]int, 0, len(dm.RPMMS))
+			for rpm := range dm.RPMMS {
+				rpms = append(rpms, rpm)
+			}
+			sort.Ints(rpms)
+			for _, rpm := range rpms {
+				fmt.Fprintf(bw, "sdpm_disk_rpm_ms_total{disk=\"%d\",rpm=\"%d\"} %s\n",
+					d, rpm, fmtFloat(dm.RPMMS[rpm]))
+			}
+			if dm.OtherMS != 0 {
+				fmt.Fprintf(bw, "sdpm_disk_rpm_ms_total{disk=\"%d\",rpm=\"other\"} %s\n", d, fmtFloat(dm.OtherMS))
+			}
+		}
+	}
+
+	writeCounter(bw, "sdpm_cache_hits_total", "Instance-cache hits (preparation already memoized).", s.CacheHits)
+	writeCounter(bw, "sdpm_cache_misses_total", "Instance-cache misses (preparation executed).", s.CacheMisses)
+	writeCounter(bw, "sdpm_cache_singleflight_waits_total", "Instance-cache callers that blocked on a concurrent preparation of the same key.", s.CacheWaits)
+
+	writeCounter(bw, "sdpm_runner_tasks_total", "Worker-pool cells completed.", s.RunnerTasks)
+	header(bw, "sdpm_runner_busy_seconds_total", "Cumulative worker busy time in seconds.", "counter")
+	fmt.Fprintf(bw, "sdpm_runner_busy_seconds_total %s\n", fmtFloat(float64(s.RunnerBusyNS)/1e9))
+	writeGauge(bw, "sdpm_runner_workers_active", "Workers currently executing a cell.", s.RunnerActive)
+	writeGauge(bw, "sdpm_runner_queue_depth", "Cells claimed by no worker yet.", s.RunnerQueue)
+	writeCounter(bw, "sdpm_runner_cell_panics_total", "Worker-pool cells recovered from a panic (reported as CellError).", s.CellPanics)
+	writeCounter(bw, "sdpm_runner_cell_retries_total", "Retries of failing worker-pool cells.", s.CellRetries)
+
+	writeCounter(bw, "sdpm_journal_hits_total", "Experiment cells served from the result journal on resume.", s.JournalHits)
+	writeCounter(bw, "sdpm_journal_misses_total", "Experiment cells computed and appended to the result journal.", s.JournalMisses)
 	return bw.Flush()
 }
 
@@ -93,17 +110,17 @@ func writeGauge(w io.Writer, name, help string, v int64) {
 	fmt.Fprintf(w, "%s %d\n", name, v)
 }
 
-func writeHistogram(w io.Writer, name, help string, h *Histogram) {
+func writeHistogram(w io.Writer, name, help string, h *HistogramSnapshot) {
 	header(w, name, help, "histogram")
 	cum := int64(0)
 	for i := range bucketBoundsMS {
-		cum += h.counts[i].Load()
+		cum += h.Buckets[i]
 		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmtFloat(bucketBoundsMS[i]), cum)
 	}
-	cum += h.counts[len(bucketBoundsMS)].Load()
+	cum += h.Buckets[len(bucketBoundsMS)]
 	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %s\n", name, fmtFloat(h.sum.Load()))
-	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+	fmt.Fprintf(w, "%s_sum %s\n", name, fmtFloat(h.Sum))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
 }
 
 // fmtFloat renders a float the way Prometheus clients do: shortest

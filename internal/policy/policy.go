@@ -21,6 +21,7 @@ package policy
 
 import (
 	"sdpm/internal/disk"
+	"sdpm/internal/obs/events"
 	"sdpm/internal/sim"
 )
 
@@ -46,6 +47,10 @@ func (*Base) Finish(*sim.Machine, float64) {}
 // batched executor may skip every decision point.
 func (*Base) Horizon() sim.Horizon { return sim.Horizon{} }
 
+// DecisionTrigger implements sim.TriggerPolicy. Base never decides,
+// so the label is empty.
+func (*Base) DecisionTrigger() string { return "" }
+
 // TPM is the traditional reactive spin-down policy: after a disk has
 // been idle for ThresholdMS it is spun down; the next request pays
 // the full spin-up delay.
@@ -67,6 +72,10 @@ func NewTPM(p disk.Params, thresholdMS float64) *TPM {
 
 // Name implements sim.Policy.
 func (*TPM) Name() string { return "TPM" }
+
+// DecisionTrigger implements sim.TriggerPolicy: TPM decisions fire on
+// idleness-threshold expiry.
+func (*TPM) DecisionTrigger() string { return events.TrigThreshold }
 
 // BeforeService spins the disk down retroactively if the gap that
 // just ended exceeded the threshold; the simulator then charges the
@@ -117,6 +126,10 @@ func NewITPM(p disk.Params) *ITPM { return &ITPM{p: p} }
 
 // Name implements sim.Policy.
 func (*ITPM) Name() string { return "ITPM" }
+
+// DecisionTrigger implements sim.TriggerPolicy: ITPM places actions
+// with oracle knowledge of the ended idle period.
+func (*ITPM) DecisionTrigger() string { return events.TrigOracle }
 
 // BeforeService applies the oracle decision to the idle period that
 // just ended: spin down at its start and spin up exactly SpinUpMS
@@ -199,6 +212,11 @@ func NewDRPM(p disk.Params, numDisks int) *DRPM {
 
 // Name implements sim.Policy.
 func (*DRPM) Name() string { return "DRPM" }
+
+// DecisionTrigger implements sim.TriggerPolicy: DRPM decisions come
+// from the autonomous idleness ramp (window-trip restores are
+// relabelled "controller" by the simulator's AfterService context).
+func (*DRPM) DecisionTrigger() string { return events.TrigRamp }
 
 // BeforeService ramps the disk down through the idle period that just
 // ended: one RPM step per IdleStepMS of idleness, floored by the
@@ -299,6 +317,10 @@ func NewIDRPM(p disk.Params) *IDRPM { return &IDRPM{p: p, tbl: disk.TableFor(p)}
 
 // Name implements sim.Policy.
 func (*IDRPM) Name() string { return "IDRPM" }
+
+// DecisionTrigger implements sim.TriggerPolicy: IDRPM dips periods
+// with oracle knowledge of their length.
+func (*IDRPM) DecisionTrigger() string { return events.TrigOracle }
 
 // BeforeService dips the just-ended idle period optimally.
 func (r *IDRPM) BeforeService(m *sim.Machine, d int, now float64) {

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"sdpm/internal/obs"
+	"sdpm/internal/obs/events"
 )
 
 // CellError converts a panicking cell into an ordinary cell failure:
@@ -59,6 +60,9 @@ type Pool struct {
 	// obs receives task counts, busy time, and the active-worker and
 	// queue-depth gauges when non-nil (see Observe).
 	obs *obs.Collector
+	// ev receives cell-lifecycle events (retries, recovered panics)
+	// when non-nil (see Trace).
+	ev *events.Log
 	// ctx, when non-nil, cancels Map early: in-flight cells finish,
 	// unclaimed cells are skipped (see WithContext).
 	ctx context.Context
@@ -84,6 +88,20 @@ func New(workers int) *Pool {
 func (p *Pool) Observe(c *obs.Collector) *Pool {
 	if p != nil {
 		p.obs = c
+	}
+	return p
+}
+
+// Trace attaches a decision-provenance event log to the pool and
+// returns the pool (for chaining with New, like Observe). Every cell
+// retry and recovered panic is then recorded as a structured event
+// carrying the cell index, alongside the collector's counters. Cell
+// events carry no timestamp (TMS 0): wall-clock stamps would make
+// otherwise-deterministic event logs differ run to run. A nil log
+// (or a nil pool) is a no-op.
+func (p *Pool) Trace(l *events.Log) *Pool {
+	if p != nil {
+		p.ev = l
 	}
 	return p
 }
@@ -145,10 +163,12 @@ func (p *Pool) Map(n int, fn func(i int) error) error {
 		return nil
 	}
 	var c *obs.Collector
+	var ev *events.Log
 	var ctx context.Context
 	retries := 0
 	if p != nil {
 		c = p.obs
+		ev = p.ev
 		ctx = p.ctx
 		retries = p.retries
 	}
@@ -163,6 +183,8 @@ func (p *Pool) Map(n int, fn func(i int) error) error {
 		defer func() {
 			if r := recover(); r != nil {
 				c.CountCellPanic()
+				ev.Emit(events.Event{Kind: events.KindCellPanic, Disk: -1,
+					Detail: fmt.Sprintf("cell=%d", i)})
 				err = &CellError{Index: i, Value: r, Stack: debug.Stack()}
 			}
 		}()
@@ -175,6 +197,8 @@ func (p *Pool) Map(n int, fn func(i int) error) error {
 			err := base(i)
 			for r := 0; r < retries && err != nil && canceled() == nil; r++ {
 				c.CountCellRetry()
+				ev.Emit(events.Event{Kind: events.KindCellRetry, Disk: -1,
+					Detail: fmt.Sprintf("cell=%d attempt=%d", i, r+2)})
 				err = base(i)
 			}
 			return err

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"sdpm/internal/obs"
+	evpkg "sdpm/internal/obs/events"
 	"sdpm/internal/trace"
 )
 
@@ -43,7 +44,7 @@ type HorizonPolicy interface {
 // so the fast path's arithmetic is bit-identical.
 type batchEntry struct {
 	rpm      int
-	residIdx int   // LevelIndex(rpm)
+	residIdx int // LevelIndex(rpm)
 	bytes    int64
 	svc      float64 // ServiceTimeSeekMS(rpm, bytes, AvgSeekMS)
 	addActJ  float64 // ActivePowerAt(rpm) * svc / 1e3
@@ -92,7 +93,7 @@ func (m *Machine) batchScratchFor(n int) batchScratch {
 // differential tests in batch_diff_test.go enforce.
 func (m *Machine) serviceRun(events []trace.Event, i int, run *trace.Run, clock float64, hz Horizon, pol Policy) (int, float64) {
 	sc := m.batchScratchFor(len(m.disks))
-	if m.obs == nil && !m.recTimeline && m.faults == nil && hz.NoOpBefore == nil && !hz.AfterPerRequest {
+	if m.obs == nil && m.ev == nil && !m.recTimeline && m.faults == nil && hz.NoOpBefore == nil && !hz.AfterPerRequest {
 		// No per-request instrumentation, faults, or policy horizon to
 		// consult: take the branch-free steady-state loop.
 		return m.serviceRunLean(events, i, run, clock, sc)
@@ -190,13 +191,24 @@ func (m *Machine) serviceRun(events []trace.Event, i int, run *trace.Run, clock 
 		}
 		s.accT = end
 		s.idleFrom = end
+		if m.ev != nil {
+			// Keep the period-start energy snapshot current (the next
+			// idle period on d starts here); see events.go.
+			m.evd[d].baseJ = s.stats.EnergyJ
+		}
 		clock = end
 		i++
 		if hz.AfterPerRequest {
 			// The controller may act on any disk (e.g. DRPM's restore
 			// sweep); the per-disk status and cache checks above pick
 			// that up on the next iteration.
-			pol.AfterService(m, d, end, end-t)
+			if m.ev != nil {
+				m.setTrigger(evpkg.TrigController, 0)
+				pol.AfterService(m, d, end, end-t)
+				m.restoreTrigger()
+			} else {
+				pol.AfterService(m, d, end, end-t)
+			}
 		}
 	}
 	return i, clock

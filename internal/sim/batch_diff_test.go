@@ -16,6 +16,7 @@ import (
 
 	"sdpm/internal/disk"
 	"sdpm/internal/faults"
+	"sdpm/internal/obs/events"
 	"sdpm/internal/policy"
 	"sdpm/internal/sim"
 	"sdpm/internal/trace"
@@ -155,14 +156,24 @@ func TestBatchDifferential(t *testing.T) {
 					want := cfg
 					want.Policy = diffPolicy(pol, p, nDisks)
 					want.DisableBatch = true
+					// Event tracing attached to the batched path must
+					// change no result bit (the log only reads state).
+					traced := cfg
+					traced.Policy = diffPolicy(pol, p, nDisks)
+					traced.Compiled = comp
+					traced.Events = events.NewLog(1 << 16)
 
 					rb, errB := sim.Run(tr, batched)
 					rg, errG := sim.Run(tr, want)
-					if (errB == nil) != (errG == nil) {
-						t.Fatalf("policy %s faults=%t: batched err=%v, general err=%v", pol, withFaults, errB, errG)
+					rt, errT := sim.Run(tr, traced)
+					if (errB == nil) != (errG == nil) || (errB == nil) != (errT == nil) {
+						t.Fatalf("policy %s faults=%t: batched err=%v, general err=%v, traced err=%v", pol, withFaults, errB, errG, errT)
 					}
 					if errB != nil {
 						continue
+					}
+					if !reflect.DeepEqual(rb, rt) {
+						t.Errorf("policy %s faults=%t: event tracing perturbed the batched result", pol, withFaults)
 					}
 					if !reflect.DeepEqual(rb, rg) {
 						t.Errorf("policy %s faults=%t: batched and general results differ", pol, withFaults)

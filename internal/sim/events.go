@@ -1,0 +1,227 @@
+package sim
+
+// Decision-provenance event plumbing. The machine, when a log is
+// attached, records every power action (spin-down, spin-up, RPM
+// shift) with its trigger and inputs, and resolves each decision with
+// the measured idle period it acted inside and the energy regret
+// against the oracle choice for a period of that length.
+//
+// The attribution model: an idle period on disk d spans
+// [idleFrom, next service start]. Every decision whose effect lands
+// inside the period is "pending" until the period resolves. The
+// period's actual energy is the disk's energy delta from the period
+// start to the moment the next request begins service (so the cost of
+// a readiness wait the decision caused is charged to it); the oracle
+// energy is the cheapest way a clairvoyant policy could have spent an
+// idle gap of the measured length (full-speed idle, perfectly-timed
+// standby dip, or the best RPM dip). Only the first pending decision
+// of a period carries the actual/oracle/regret numbers — later
+// decisions of the same period get the measured idle only — so
+// summing regret over the log never double-counts a period.
+//
+// Everything here is behind `m.ev != nil` checks: with no log
+// attached the hot path pays one predictable branch per site and
+// allocates nothing, and the arithmetic of the run is untouched
+// either way (events only read state the simulator already computed).
+
+import (
+	"sdpm/internal/obs/events"
+	"sdpm/internal/trace"
+)
+
+// evDisk is the per-disk decision-tracking state.
+type evDisk struct {
+	// pending holds the log seqs of decisions awaiting this disk's
+	// current idle period to resolve. Reused across periods.
+	pending []uint64
+	// baseJ is the disk's accumulated energy at the period start
+	// (maintained at every request completion while a log is
+	// attached), so actual period energy is one subtraction.
+	baseJ float64
+}
+
+// AttachEvents threads a decision-provenance log through the machine.
+// program and scheme label every emitted event; trigger is the
+// deciding policy's default decision trigger (events.Trig*);
+// breakEvenMS is the threshold input stamped on decision events. A
+// nil log detaches.
+func (m *Machine) AttachEvents(l *events.Log, program, scheme, trigger string, breakEvenMS float64) {
+	m.ev = l
+	if l == nil {
+		return
+	}
+	m.evProg = program
+	m.evPolicy = scheme
+	m.evPolTrig = trigger
+	m.evTrig = trigger
+	m.evBE = breakEvenMS
+	if len(m.evd) < len(m.disks) {
+		m.evd = make([]evDisk, len(m.disks))
+	}
+}
+
+// setTrigger switches the decision-trigger context (and the predicted
+// idle that rides with hint triggers). Callers bracket policy or
+// trace-op call-outs with it; restoreTrigger returns to the policy's
+// default.
+func (m *Machine) setTrigger(trig string, predictedIdleMS float64) {
+	m.evTrig = trig
+	m.evPred = predictedIdleMS
+}
+
+func (m *Machine) restoreTrigger() {
+	m.evTrig = m.evPolTrig
+	m.evPred = 0
+}
+
+// emitDecision records one power action on disk d effective at time t
+// and marks it pending on d's current idle period.
+func (m *Machine) emitDecision(d int, kind string, rpm int, t float64) {
+	seq := m.ev.Emit(events.Event{
+		TMS:             t,
+		Kind:            kind,
+		Program:         m.evProg,
+		Policy:          m.evPolicy,
+		Disk:            d,
+		Trigger:         m.evTrig,
+		TargetRPM:       rpm,
+		PredictedIdleMS: m.evPred,
+		BreakEvenMS:     m.evBE,
+	})
+	pd := &m.evd[d]
+	pd.pending = append(pd.pending, seq)
+}
+
+// emitMiss records a request that blocked on disk readiness.
+func (m *Machine) emitMiss(d int, t, idleMS, waitMS float64, onDemand bool) {
+	detail := "inflight"
+	if onDemand {
+		detail = "ondemand"
+	}
+	m.ev.Emit(events.Event{
+		TMS:            t,
+		Kind:           events.KindSpinupMiss,
+		Program:        m.evProg,
+		Policy:         m.evPolicy,
+		Disk:           d,
+		MeasuredIdleMS: idleMS,
+		WindowMS:       waitMS,
+		Detail:         detail,
+	})
+}
+
+// emitFault records one injected-fault lifecycle event; detail uses
+// the metrics collector's fault-kind labels so the two surfaces
+// cross-check one for one.
+func (m *Machine) emitFault(d int, t float64, detail string) {
+	m.ev.Emit(events.Event{
+		TMS:     t,
+		Kind:    events.KindFault,
+		Program: m.evProg,
+		Policy:  m.evPolicy,
+		Disk:    d,
+		Detail:  detail,
+	})
+}
+
+// oracleIdleJ returns the minimum energy a clairvoyant policy could
+// spend over an idle gap of the given length that ends with the disk
+// back at full speed: full-speed idle, a perfectly-timed standby dip,
+// or the best RPM dip.
+func (m *Machine) oracleIdleJ(idleMS float64) float64 {
+	e := m.p.IdleEnergyJ(idleMS)
+	if s := m.p.StandbyEnergyJ(idleMS); s < e {
+		e = s
+	}
+	if _, dip := m.p.BestRPMForIdle(idleMS); dip < e {
+		e = dip
+	}
+	return e
+}
+
+// oracleTrailJ is oracleIdleJ for a trailing idle period: the disk
+// never needs to return to full speed, so the dips pay no way back.
+func (m *Machine) oracleTrailJ(idleMS float64) float64 {
+	_, e := m.p.BestRPMForTrailingIdle(idleMS)
+	if idleMS >= m.p.SpinDownMS {
+		if s := m.p.SpinDownJ + m.p.StandbyW*(idleMS-m.p.SpinDownMS)/1e3; s < e {
+			e = s
+		}
+	}
+	return e
+}
+
+// emitBailout records why the batched executor dropped event i of a
+// compiled run to the general path, re-deriving the bail condition
+// with the same (pure) checks serviceRun just made. Detail holds the
+// reason: disk_transition (a power action or spin-up is in flight on
+// the disk), policy_decision (the policy's horizon says BeforeService
+// may act), fault_remap / fault_degraded (a fault-plan hit needs the
+// general service path).
+func (m *Machine) emitBailout(evs []trace.Event, i int, run *trace.Run, clock float64, hz Horizon) {
+	ev := &evs[i]
+	d := run.Disk
+	if run.Disks != nil {
+		d = int(run.Disks[i-run.Start])
+	} else if d < 0 {
+		d = ev.Req.Disk
+	}
+	s := &m.disks[d]
+	gap := run.GapMS
+	if gap < 0 {
+		gap = ev.GapMS
+	}
+	t := clock + gap
+	reason := "unknown"
+	if s.status != StSpinning || s.accT != s.idleFrom {
+		reason = "disk_transition"
+	} else if hz.NoOpBefore != nil && !hz.NoOpBefore(d, s.idleFrom, t, s.rpm) {
+		reason = "policy_decision"
+	} else if m.faults != nil {
+		if ev.Req.Block >= 0 && m.faults.Remapped(d, ev.Req.Block) {
+			reason = "fault_remap"
+		} else if factor, _ := m.faults.Degraded(d, t); factor > 1 {
+			reason = "fault_degraded"
+		}
+	}
+	m.ev.Emit(events.Event{
+		TMS:     t,
+		Kind:    events.KindBailout,
+		Program: m.evProg,
+		Policy:  m.evPolicy,
+		Disk:    d,
+		Detail:  reason,
+	})
+}
+
+// resolvePeriod finalizes disk d's just-ended idle period against its
+// pending decisions: measured idle idleMS, full window windowMS
+// (through any readiness wait), actual energy from the period-start
+// snapshot, and the oracle minimum (trailing periods use the trailing
+// oracle). No-op when no decisions are pending; the period-start
+// energy snapshot is advanced by the request-completion paths, not
+// here.
+func (m *Machine) resolvePeriod(d int, idleMS, windowMS float64, trailing bool) {
+	pd := &m.evd[d]
+	if len(pd.pending) == 0 {
+		return
+	}
+	actual := m.disks[d].stats.EnergyJ - pd.baseJ
+	var oracle float64
+	if trailing {
+		oracle = m.oracleTrailJ(idleMS)
+	} else {
+		oracle = m.oracleIdleJ(idleMS)
+	}
+	m.ev.Resolve(pd.pending[0], events.Outcome{
+		MeasuredIdleMS: idleMS,
+		WindowMS:       windowMS,
+		ActualJ:        actual,
+		OracleJ:        oracle,
+		RegretJ:        actual - oracle,
+	})
+	for _, seq := range pd.pending[1:] {
+		m.ev.Resolve(seq, events.Outcome{MeasuredIdleMS: idleMS, WindowMS: windowMS})
+	}
+	pd.pending = pd.pending[:0]
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"sdpm/internal/obs"
+	"sdpm/internal/obs/events"
 )
 
 // ChromeTraceEvents converts a recorded run into Chrome trace-event /
@@ -77,6 +78,74 @@ func opInstant(name string, ts float64, d, rpm int) obs.TraceEvent {
 	return ev
 }
 
+// ChromeTraceEventsAnnotated is ChromeTraceEvents with the run's
+// decision-provenance log merged in: every logged decision, spin-up
+// miss, fault, and batching bail-out becomes an instant event on its
+// disk's track, carrying the provenance as args (trigger, predicted
+// and measured idle, break-even, energy regret, fault detail).
+// Suite-level events with no disk (worker-pool retries, journal
+// lifecycle) are skipped — they have no place on a disk timeline.
+// The base exporter's output is unchanged; annotation only appends.
+func ChromeTraceEventsAnnotated(res *Result, log []events.Event) ([]obs.TraceEvent, error) {
+	out, err := ChromeTraceEvents(res)
+	if err != nil {
+		return nil, err
+	}
+	for i := range log {
+		ev := &log[i]
+		if ev.Disk < 0 || ev.Disk >= len(res.Timelines) {
+			continue
+		}
+		cat := "fault"
+		if events.IsDecision(ev.Kind) {
+			cat = "decision"
+		} else if ev.Kind == events.KindSpinupMiss {
+			cat = "miss"
+		} else if ev.Kind == events.KindBailout {
+			cat = "bailout"
+		}
+		args := map[string]any{}
+		if ev.Policy != "" {
+			args["policy"] = ev.Policy
+		}
+		if ev.Trigger != "" {
+			args["trigger"] = ev.Trigger
+		}
+		if ev.TargetRPM != 0 {
+			args["rpm"] = ev.TargetRPM
+		}
+		if ev.PredictedIdleMS != 0 {
+			args["predicted_idle_ms"] = ev.PredictedIdleMS
+		}
+		if ev.BreakEvenMS != 0 {
+			args["break_even_ms"] = ev.BreakEvenMS
+		}
+		if ev.MeasuredIdleMS != 0 {
+			args["measured_idle_ms"] = ev.MeasuredIdleMS
+		}
+		if ev.ActualJ != 0 {
+			args["actual_j"] = ev.ActualJ
+		}
+		if ev.OracleJ != 0 {
+			args["oracle_j"] = ev.OracleJ
+		}
+		if ev.RegretJ != 0 {
+			args["regret_j"] = ev.RegretJ
+		}
+		if ev.Detail != "" {
+			args["detail"] = ev.Detail
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		out = append(out, obs.TraceEvent{
+			Name: ev.Kind, Cat: cat, Ph: "i", TS: ev.TMS * 1e3,
+			Pid: 0, Tid: ev.Disk, S: "t", Args: args,
+		})
+	}
+	return out, nil
+}
+
 // WriteChromeTrace writes the run's recorded timelines as a Chrome
 // trace-event JSON file that loads in Perfetto (ui.perfetto.dev) or
 // chrome://tracing. See ChromeTraceEvents for the event model.
@@ -86,4 +155,14 @@ func WriteChromeTrace(w io.Writer, res *Result) error {
 		return err
 	}
 	return obs.WriteChromeTrace(w, events)
+}
+
+// WriteChromeTraceAnnotated is WriteChromeTrace with the run's
+// decision-provenance log merged in (see ChromeTraceEventsAnnotated).
+func WriteChromeTraceAnnotated(w io.Writer, res *Result, log []events.Event) error {
+	evs, err := ChromeTraceEventsAnnotated(res, log)
+	if err != nil {
+		return err
+	}
+	return obs.WriteChromeTrace(w, evs)
 }

@@ -9,6 +9,9 @@ import (
 	"testing"
 
 	"sdpm/internal/disk"
+	"sdpm/internal/faults"
+	"sdpm/internal/obs"
+	"sdpm/internal/obs/events"
 	"sdpm/internal/sim"
 	"sdpm/internal/trace"
 )
@@ -133,5 +136,102 @@ func TestChromeTraceStructure(t *testing.T) {
 	}
 	if _, err := sim.ChromeTraceEvents(bare); err == nil {
 		t.Error("ChromeTraceEvents on a run without timelines: want error, got nil")
+	}
+}
+
+// faultTrace parks disk 0, pre-activates it under a fault plan that
+// fails every spin-up attempt (so the pre-activation gives up), and
+// then issues a request: the service degrades to on-demand with
+// forced success after retries, producing the full fault lifecycle —
+// failed attempts, retries, and the fallback.
+func faultTrace() *trace.Trace {
+	req := func(d int, block int64, gap, arrival float64) trace.Event {
+		return trace.Event{Kind: trace.EvRequest, GapMS: gap, Req: trace.Request{
+			ArrivalMS: arrival, Disk: d, Block: block, Bytes: 65536, Kind: trace.Read,
+		}}
+	}
+	op := func(d int, k trace.OpKind) trace.Event {
+		return trace.Event{Kind: trace.EvPowerOp, Op: trace.PowerOp{Disk: d, Kind: k}}
+	}
+	return &trace.Trace{Program: "faulty", NumDisks: 1, Events: []trace.Event{
+		req(0, 0, 2, 2),
+		op(0, trace.OpSpinDown),
+		op(0, trace.OpSpinUp), // pre-activation: fails, retries, gives up
+		req(0, 128, 30000, 30002),
+		req(0, 256, 1000, 31002),
+	}}
+}
+
+// TestChromeTraceAnnotatedFaultsGolden locks the annotated exporter —
+// timeline plus merged decision/fault events — byte-for-byte under a
+// deterministic all-failures fault plan, and asserts the fault
+// lifecycle (failed attempts, retries, on-demand fallback) surfaces
+// as instant events whose args carry the detail, in the same numbers
+// the metrics collector counted.
+func TestChromeTraceAnnotatedFaultsGolden(t *testing.T) {
+	plan, err := faults.New(1, 1, faults.Config{
+		SpinUpFailProb: 1, MaxRetries: 2, RetryBackoffMS: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := obs.New()
+	log := events.NewLog(0)
+	cfg := sim.Config{
+		Disk: disk.DefaultParams(), RecordTimeline: true,
+		Obs: coll, Events: log, Faults: plan,
+	}
+	res, err := sim.Run(faultTrace(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sim.WriteChromeTraceAnnotated(&buf, res, log.Events()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "trace_faults.golden.json")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("annotated trace JSON differs from %s (rerun with -update if the change is intended)\ngot %d bytes, want %d bytes",
+			path, buf.Len(), len(want))
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("annotated output is not valid JSON: %v", err)
+	}
+	faultDetails := map[string]int{}
+	decisions := 0
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Cat == "fault" && ev.Ph == "i":
+			detail, _ := ev.Args["detail"].(string)
+			faultDetails[detail]++
+		case ev.Cat == "decision" && ev.Ph == "i":
+			decisions++
+		}
+	}
+	for _, k := range []obs.FaultKind{obs.FaultSpinUpFail, obs.FaultRetry, obs.FaultFallback} {
+		if got, want := int64(faultDetails[k.String()]), coll.FaultCount(k); got == 0 || got != want {
+			t.Errorf("fault %q: %d instants in trace, collector counted %d", k.String(), got, want)
+		}
+	}
+	if decisions == 0 {
+		t.Error("no decision instants in annotated trace (embedded spin-down/spin-up missing)")
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"sdpm/internal/disk"
 	"sdpm/internal/faults"
 	"sdpm/internal/obs"
+	"sdpm/internal/obs/events"
 )
 
 // Status enumerates the per-disk power states.
@@ -183,6 +184,17 @@ type Machine struct {
 	// every fault path disabled and the machine's arithmetic
 	// bit-identical to a fault-free build.
 	faults *faults.Plan
+	// ev is the decision-provenance event log (see AttachEvents in
+	// events.go); nil keeps every event path disabled. The ev* fields
+	// label emitted events and carry the current trigger context.
+	ev        *events.Log
+	evProg    string
+	evPolicy  string
+	evPolTrig string
+	evTrig    string
+	evPred    float64
+	evBE      float64
+	evd       []evDisk
 	// batch is the batched executor's per-disk constant cache,
 	// allocated on first use (see batchScratchFor). Cached entries
 	// depend only on the disk model, so they survive Reset.
@@ -258,6 +270,10 @@ func (m *Machine) Reset() {
 		for i := range resid {
 			resid[i] = 0
 		}
+	}
+	for d := range m.evd {
+		m.evd[d].pending = m.evd[d].pending[:0]
+		m.evd[d].baseJ = 0
 	}
 	for i := range m.headPos {
 		m.headPos[i] = 0
@@ -415,6 +431,9 @@ func (m *Machine) SpinDownAt(d int, t float64) {
 	if m.obs != nil {
 		m.obs.CountPowerOp(obs.OpSpinDown)
 	}
+	if m.ev != nil {
+		m.emitDecision(d, events.KindSpinDown, 0, eff)
+	}
 }
 
 // SpinUpAt initiates a TPM spin-up on disk d at time t. It is a
@@ -449,7 +468,7 @@ func (m *Machine) spinUp(d int, t float64, onDemand bool) {
 		// The whole cascade — attempts, backoffs — is modeled as one
 		// transitional segment at its average power, so energy is
 		// conserved exactly regardless of how many retries it holds.
-		dur, energy, ok := m.spinUpCascade(d, onDemand)
+		dur, energy, ok := m.spinUpCascade(d, eff, onDemand)
 		s.status = StUp
 		s.statusUntil = eff + dur
 		s.transPowerW = energy / dur * 1e3
@@ -460,18 +479,22 @@ func (m *Machine) spinUp(d int, t float64, onDemand bool) {
 	if m.obs != nil {
 		m.obs.CountPowerOp(obs.OpSpinUp)
 	}
+	if m.ev != nil {
+		m.emitDecision(d, events.KindSpinUp, 0, eff)
+	}
 }
 
 // spinUpCascade rolls the fault plan over one spin-up call's attempt
 // sequence and returns the cascade's total duration and energy, and
-// whether the platters end up at full speed. Every attempt costs the
+// whether the platters end up at full speed. t is the cascade's start
+// time (it stamps fault lifecycle events). Every attempt costs the
 // full spin-up time and energy whether or not it succeeds; failed
 // attempts are separated by exponentially growing backoff spent at
 // standby power. A pre-activation cascade (onDemand false) gives up
 // once the retry budget or the timeout cap is exhausted; the
 // on-demand path instead forces success after the retry budget so a
 // request can never be stuck behind an unlucky decision stream.
-func (m *Machine) spinUpCascade(d int, onDemand bool) (durMS, energyJ float64, ok bool) {
+func (m *Machine) spinUpCascade(d int, t float64, onDemand bool) (durMS, energyJ float64, ok bool) {
 	s := &m.disks[d]
 	cfg := m.faults.Config()
 	backoff := cfg.RetryBackoffMS
@@ -492,6 +515,9 @@ func (m *Machine) spinUpCascade(d int, onDemand bool) (durMS, energyJ float64, o
 		if m.obs != nil {
 			m.obs.CountFault(obs.FaultSpinUpFail)
 		}
+		if m.ev != nil {
+			m.emitFault(d, t+durMS, obs.FaultSpinUpFail.String())
+		}
 		if !onDemand {
 			if try >= cfg.MaxRetries {
 				return durMS, energyJ, false
@@ -500,6 +526,9 @@ func (m *Machine) spinUpCascade(d int, onDemand bool) (durMS, energyJ float64, o
 				s.stats.SpinUpTimeouts++
 				if m.obs != nil {
 					m.obs.CountFault(obs.FaultTimeout)
+				}
+				if m.ev != nil {
+					m.emitFault(d, t+durMS, obs.FaultTimeout.String())
 				}
 				return durMS, energyJ, false
 			}
@@ -510,6 +539,9 @@ func (m *Machine) spinUpCascade(d int, onDemand bool) (durMS, energyJ float64, o
 		s.stats.SpinUpRetries++
 		if m.obs != nil {
 			m.obs.CountFault(obs.FaultRetry)
+		}
+		if m.ev != nil {
+			m.emitFault(d, t+durMS, obs.FaultRetry.String())
 		}
 	}
 }
@@ -539,6 +571,9 @@ func (m *Machine) SetRPMAt(d int, t float64, rpm int) {
 	s.stats.RPMShifts++
 	if m.obs != nil {
 		m.obs.CountPowerOp(obs.OpSetRPM)
+	}
+	if m.ev != nil {
+		m.emitDecision(d, events.KindRPMShift, rpm, eff)
 	}
 }
 
@@ -572,15 +607,29 @@ func (m *Machine) ServiceBlock(d int, t float64, bytes, block int64) (float64, e
 			if m.obs != nil {
 				m.obs.CountFault(obs.FaultFallback)
 			}
+			if m.ev != nil {
+				m.emitFault(d, start, obs.FaultFallback.String())
+			}
 		}
 		// On-demand spin-up: the request pays the full delay. The
 		// service path forces the retry cascade to succeed, so one
 		// call always leaves the disk heading to full speed.
-		m.spinUp(d, start, true)
+		if m.ev != nil {
+			m.setTrigger(events.TrigDemand, 0)
+			m.spinUp(d, start, true)
+			m.restoreTrigger()
+		} else {
+			m.spinUp(d, start, true)
+		}
 		start = m.effectiveAt(d, start)
 	}
 	if s.status != StSpinning {
 		return 0, &NotSpinningError{Disk: d, Status: s.status}
+	}
+	if m.ev != nil {
+		// The idle period ending here is fully accounted (the disk has
+		// been advanced through start): resolve its pending decisions.
+		m.resolvePeriod(d, idleLen, start-s.idleFrom, false)
 	}
 	s.stats.WaitMS += start - t
 	seek := m.p.AvgSeekMS
@@ -589,6 +638,9 @@ func (m *Machine) ServiceBlock(d int, t float64, bytes, block int64) (float64, e
 		s.stats.RemapHits++
 		if m.obs != nil {
 			m.obs.CountFault(obs.FaultRemap)
+		}
+		if m.ev != nil {
+			m.emitFault(d, start, obs.FaultRemap.String())
 		}
 	}
 	if m.distSeek && block >= 0 {
@@ -618,6 +670,9 @@ func (m *Machine) ServiceBlock(d int, t float64, bytes, block int64) (float64, e
 			if m.obs != nil {
 				m.obs.CountFault(obs.FaultDegraded)
 			}
+			if m.ev != nil {
+				m.emitFault(d, start, obs.FaultDegraded.String())
+			}
 		}
 	}
 	pw := m.tbl.ActivePowerAt(s.rpm)
@@ -644,6 +699,22 @@ func (m *Machine) ServiceBlock(d int, t float64, bytes, block int64) (float64, e
 			}
 		}
 	}
+	if m.ev != nil {
+		if start > t {
+			// Same classification as the collector's spinup-miss
+			// counters; the event also carries the wait and the idle
+			// period so a timeline can be rebuilt from the log alone.
+			switch pre {
+			case StUp:
+				m.emitMiss(d, t, idleLen, start-t, false)
+			case StStandby, StDown:
+				m.emitMiss(d, t, idleLen, start-t, true)
+			}
+		}
+		// A new idle period starts at end: snapshot the disk's energy
+		// so the period's actual cost is a subtraction at resolution.
+		m.evd[d].baseJ = s.stats.EnergyJ
+	}
 	s.record(m.recTimeline, start, end, StSpinning, s.rpm, pw, true)
 	s.accT = end
 	s.idleFrom = end
@@ -667,6 +738,11 @@ func (m *Machine) Finish(endT float64) ([]DiskStats, [][]IdlePeriod) {
 			trail = 0
 		}
 		s.idles = append(s.idles, IdlePeriod{StartMS: s.idleFrom, LenMS: trail})
+		if m.ev != nil {
+			// Trailing-period decisions resolve against the trailing
+			// oracle (no spin-up back is ever needed).
+			m.resolvePeriod(d, trail, trail, true)
+		}
 		// Materialize the per-level residency map from the dense
 		// accumulator (plus any overflow entries).
 		if s.stats.RPMResidencyMS == nil {

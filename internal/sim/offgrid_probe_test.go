@@ -1,13 +1,16 @@
 package sim
 
 import (
-	"fmt"
 	"testing"
 
 	"sdpm/internal/disk"
 	"sdpm/internal/trace"
 )
 
+// TestOffGridRPMBatchProbe pins down the batched executor's handling
+// of an RPM level outside the disk's grid: an embedded set_rpm to an
+// off-grid speed must clamp to a real level, and the run's residency
+// must land on the grid (not in the overflow map).
 func TestOffGridRPMBatchProbe(t *testing.T) {
 	tr := &trace.Trace{NumDisks: 1}
 	tr.Events = append(tr.Events, trace.Event{Kind: trace.EvPowerOp,
@@ -17,12 +20,20 @@ func TestOffGridRPMBatchProbe(t *testing.T) {
 			Req: trace.Request{ArrivalMS: float64(i) * 1000, Disk: 0, Block: int64(i), Bytes: 4096}})
 	}
 	comp := trace.Compile(tr)
-	fmt.Printf("runs: %+v\n", comp.Runs)
+	if len(comp.Runs) == 0 {
+		t.Fatal("trace compiled to zero runs")
+	}
 	p := disk.DefaultParams()
-	fmt.Printf("LevelIndex(7000)=%d\n", p.LevelIndex(7000))
 	res, err := Run(tr, Config{Disk: p})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	fmt.Printf("energy=%v rpm-resid=%v\n", res.Stats[0].EnergyJ, res.Stats[0].RPMResidencyMS)
+	if res.Disks[0].EnergyJ <= 0 {
+		t.Fatalf("energy = %v, want > 0", res.Disks[0].EnergyJ)
+	}
+	for rpm := range res.Disks[0].RPMResidencyMS {
+		if p.LevelIndex(rpm) < 0 {
+			t.Errorf("residency recorded at off-grid rpm %d (SetRPMAt clamp failed)", rpm)
+		}
+	}
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"sdpm/internal/obs/events"
 	"sdpm/internal/trace"
 )
 
@@ -56,6 +57,23 @@ func RunOpenLoop(tr *trace.Trace, cfg Config) (*Result, error) {
 		}
 		m.AttachFaults(cfg.Faults)
 	}
+	if cfg.Events != nil {
+		label := cfg.SchemeLabel
+		if label == "" {
+			if cfg.Policy != nil {
+				label = cfg.Policy.Name() + "/open"
+			} else {
+				label = "embedded/open"
+			}
+		}
+		polTrig := ""
+		if tp, ok := cfg.Policy.(TriggerPolicy); ok {
+			polTrig = tp.DecisionTrigger()
+		} else if cfg.Policy != nil {
+			polTrig = "policy"
+		}
+		m.AttachEvents(cfg.Events, tr.Program, label, polTrig, cfg.Disk.TPMBreakEvenMS())
+	}
 	m.ReserveIdles(perDisk)
 	lastCompletion := make([]float64, tr.NumDisks)
 	end := 0.0
@@ -84,7 +102,13 @@ func RunOpenLoop(tr *trace.Trace, cfg Config) (*Result, error) {
 			return nil, err
 		}
 		if cfg.Policy != nil {
-			cfg.Policy.AfterService(m, d, compl, compl-at)
+			if m.ev != nil {
+				m.setTrigger(events.TrigController, 0)
+				cfg.Policy.AfterService(m, d, compl, compl-at)
+				m.restoreTrigger()
+			} else {
+				cfg.Policy.AfterService(m, d, compl, compl-at)
+			}
 		}
 		lastCompletion[d] = compl
 		if compl > end {
@@ -92,7 +116,13 @@ func RunOpenLoop(tr *trace.Trace, cfg Config) (*Result, error) {
 		}
 	}
 	if cfg.Policy != nil {
-		cfg.Policy.Finish(m, end)
+		if m.ev != nil {
+			m.setTrigger(events.TrigFinish, 0)
+			cfg.Policy.Finish(m, end)
+			m.restoreTrigger()
+		} else {
+			cfg.Policy.Finish(m, end)
+		}
 	}
 	stats, idles := m.Finish(end)
 	res := &Result{Program: tr.Program, ExecMS: end, Disks: stats, Idles: idles}

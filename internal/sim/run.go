@@ -6,6 +6,7 @@ import (
 	"sdpm/internal/disk"
 	"sdpm/internal/faults"
 	"sdpm/internal/obs"
+	"sdpm/internal/obs/events"
 	"sdpm/internal/trace"
 )
 
@@ -27,6 +28,14 @@ type Policy interface {
 	// accounting; endT is the program completion time. Oracle
 	// policies exploit each disk's trailing idle period here.
 	Finish(m *Machine, endT float64)
+}
+
+// TriggerPolicy is optionally implemented by policies to name the
+// decision trigger stamped on their provenance events (one of the
+// events.Trig* constants). Policies without it are labelled with the
+// generic "policy" trigger.
+type TriggerPolicy interface {
+	DecisionTrigger() string
 }
 
 // Config configures a simulation run.
@@ -80,6 +89,16 @@ type Config struct {
 	// Results are bit-identical either way (enforced by differential
 	// tests); the switch exists to prove exactly that in the field.
 	DisableBatch bool
+	// Events, when non-nil, receives decision-provenance events
+	// (power decisions with trigger and inputs, later resolved with
+	// the measured idle and energy regret; spin-up misses; fault
+	// lifecycle; batch bail-out reasons). Like Obs, a nil log costs
+	// one branch per site; an attached log changes no result bit.
+	Events *events.Log
+	// SchemeLabel overrides the scheme name stamped on events (the
+	// engine labels runs by its scheme enum, which can differ from
+	// the policy's own name). Empty uses Policy.Name() or "embedded".
+	SchemeLabel string
 }
 
 // DefaultPowerCallOverheadMS is the default power-management call
@@ -134,6 +153,11 @@ func (e *runExec) step(i int) error {
 			return nil
 		}
 		op := &ev.Op
+		if e.m.ev != nil {
+			// Trace-embedded ops are the compiler's hints; they carry
+			// its idle prediction into the decision event.
+			e.m.setTrigger(events.TrigHint, op.PredictedIdleMS)
+		}
 		switch op.Kind {
 		case trace.OpSpinDown:
 			e.m.SpinDownAt(op.Disk, e.clock)
@@ -141,6 +165,9 @@ func (e *runExec) step(i int) error {
 			e.m.SpinUpAt(op.Disk, e.clock)
 		case trace.OpSetRPM:
 			e.m.SetRPMAt(op.Disk, e.clock, op.RPM)
+		}
+		if e.m.ev != nil {
+			e.m.restoreTrigger()
 		}
 		e.powerOps++
 		e.clock += e.cfg.PowerCallOverheadMS
@@ -154,7 +181,13 @@ func (e *runExec) step(i int) error {
 			return err
 		}
 		if e.cfg.Policy != nil {
-			e.cfg.Policy.AfterService(e.m, d, end, end-e.clock)
+			if e.m.ev != nil {
+				e.m.setTrigger(events.TrigController, 0)
+				e.cfg.Policy.AfterService(e.m, d, end, end-e.clock)
+				e.m.restoreTrigger()
+			} else {
+				e.cfg.Policy.AfterService(e.m, d, end, end-e.clock)
+			}
 		}
 		e.clock = end
 	}
@@ -204,6 +237,23 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 		}
 		m.AttachFaults(cfg.Faults)
 	}
+	if cfg.Events != nil {
+		label := cfg.SchemeLabel
+		if label == "" {
+			if cfg.Policy != nil {
+				label = cfg.Policy.Name()
+			} else {
+				label = "embedded"
+			}
+		}
+		polTrig := ""
+		if tp, ok := cfg.Policy.(TriggerPolicy); ok {
+			polTrig = tp.DecisionTrigger()
+		} else if cfg.Policy != nil {
+			polTrig = "policy"
+		}
+		m.AttachEvents(cfg.Events, tr.Program, label, polTrig, cfg.Disk.TPMBreakEvenMS())
+	}
 	// Batching eligibility: the distance-aware seek model carries
 	// per-request head state the fast path does not track, and a
 	// policy must describe its decision horizon to be skipped over.
@@ -248,6 +298,9 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 						// One event through the general path (a policy
 						// action, fault hit, or transitional disk
 						// state), then back to the fast loop.
+						if m.ev != nil {
+							m.emitBailout(tr.Events, i, run, e.clock, hz)
+						}
 						if err := e.step(i); err != nil {
 							return nil, err
 						}
@@ -271,7 +324,13 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	clock := e.clock
 	powerOps := e.powerOps
 	if cfg.Policy != nil {
-		cfg.Policy.Finish(m, clock)
+		if m.ev != nil {
+			m.setTrigger(events.TrigFinish, 0)
+			cfg.Policy.Finish(m, clock)
+			m.restoreTrigger()
+		} else {
+			cfg.Policy.Finish(m, clock)
+		}
 	}
 	stats, idles := m.Finish(clock)
 	res := &Result{

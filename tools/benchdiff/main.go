@@ -28,29 +28,36 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"regexp"
 	"sort"
 	"strings"
 
+	"sdpm/internal/cli"
 	"sdpm/tools/internal/benchparse"
 )
 
 func main() {
 	tolerance := flag.Float64("tolerance", 25, "allowed ns/op regression in percent before failing")
 	benchRE := flag.String("bench", "", "compare only benchmarks whose cleaned name matches this regexp")
+	verbose, quiet := cli.LogFlags(flag.CommandLine)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: benchdiff [-tolerance PCT] [-bench REGEXP] OLD NEW\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	cli.SetupLogging("benchdiff", *verbose, *quiet)
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(2)
 	}
 	code, err := run(os.Stdout, flag.Arg(0), flag.Arg(1), *tolerance, *benchRE)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		// Exit 2 distinguishes "comparison could not run" from a
+		// regression verdict (exit 1), so the structured log replaces
+		// only the print, not the contract.
+		slog.Error("fatal", "err", err)
 		os.Exit(2)
 	}
 	os.Exit(code)

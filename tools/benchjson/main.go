@@ -18,18 +18,22 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 
+	"sdpm/internal/cli"
 	"sdpm/tools/internal/benchparse"
 )
 
 func main() {
+	verbose, quiet := cli.LogFlags(flag.CommandLine)
+	flag.Parse()
+	cli.SetupLogging("benchjson", *verbose, *quiet)
 	if err := run(os.Stdin, os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		cli.Fatal(err)
 	}
 }
 
