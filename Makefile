@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short vet race fuzz-smoke bench bench-json bench-diff experiments golden golden-drift examples cover cover-all clean
+.PHONY: all check build test test-short vet race fuzz-smoke bench bench-json bench-diff experiments golden golden-drift examples cover cover-all serve-smoke govulncheck clean
 
 all: check
 
@@ -26,11 +26,13 @@ vet:
 # race runs the race detector where concurrency lives: the worker
 # pool (including cancellation), the memoizing instance cache, the
 # simulator, the fault-injection plan shared across workers, the
-# journal appended to by concurrent experiment cells, and the
+# journal appended to by concurrent experiment cells, the
 # observability layer (collector snapshots and the event ring, both
-# written by concurrent simulation runs).
+# written by concurrent simulation runs), and the serving layer
+# (admission control, idempotency cache, and drain racing a burst of
+# concurrent requests).
 race:
-	$(GO) test -race ./internal/runner ./internal/core ./internal/sim ./internal/faults ./internal/journal ./internal/obs ./internal/obs/events
+	$(GO) test -race ./internal/runner ./internal/core ./internal/sim ./internal/faults ./internal/journal ./internal/obs ./internal/obs/events ./internal/serve
 
 # fuzz-smoke gives each fuzz target a short budget — enough to shake
 # out parser and numeric regressions on every CI run without turning
@@ -107,6 +109,26 @@ cover:
 # cover-all is the informal whole-repo view (no threshold).
 cover-all:
 	$(GO) test -cover ./...
+
+# serve-smoke is the end-to-end gate for the dpmd daemon: boot the
+# real binary with chaos stalls armed, drive a deadline-exceeding
+# request and an overload burst over HTTP, SIGTERM it, and assert a
+# clean exit 0 with a finalized journal (see tools/servesmoke).
+serve-smoke:
+	mkdir -p results
+	$(GO) build -o results/dpmd ./cmd/dpmd
+	$(GO) run ./tools/servesmoke -bin results/dpmd
+
+# govulncheck scans the module against the Go vulnerability database.
+# The scanner is not vendored; the target uses an installed binary
+# when present and degrades to a skip (not a failure) when offline —
+# CI installs it explicitly.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI runs it via golang.org/x/vuln)"; \
+	fi
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,136 @@
+// Command dpmd serves the simulation engine over HTTP/JSON as a
+// hardened long-running service.
+//
+// Usage:
+//
+//	dpmd -addr :8080
+//	curl -XPOST localhost:8080/v1/sim -d '{"bench":"swim","scheme":"CMDRPM"}'
+//	curl -XPOST 'localhost:8080/v1/experiment?timeout=30s' -d '{"id":"fig3"}'
+//	curl localhost:8080/v1/experiments
+//	curl localhost:8080/readyz
+//
+// Robustness (the point of the daemon; see docs/serving.md):
+//
+//	-inflight N         concurrently executing requests (0 = GOMAXPROCS)
+//	-queue N            waiting requests beyond that before load
+//	                    shedding with 429 + Retry-After (0 = 4x inflight)
+//	-queue-wait D       max time a queued request waits for a slot
+//	-timeout D          default per-request deadline; clients override
+//	                    with ?timeout=, capped by -max-timeout. Expiry
+//	                    returns 504 with partial-progress metadata
+//	-max-timeout D      upper bound on client-requested deadlines
+//	-drain-timeout D    graceful-drain bound: on SIGTERM/SIGINT the
+//	                    listener stops, /readyz turns 503, in-flight
+//	                    requests get this long to finish, and the
+//	                    journal is finalized atomically before exit 0
+//	-journal FILE       shared crash-safe cell journal (same keys as
+//	                    dpmexp -journal; the files are interchangeable)
+//	-resume             reopen the -journal instead of truncating
+//	-retries N          extra attempts for failing/panicking cells
+//	-chaos SPEC         deterministic self-fault injection for testing:
+//	                    "seed=1,stall=0.3,stall_ms=200,panic=0.05"
+//	                    stalls/panics that fraction of requests; panics
+//	                    are isolated per request (500), never fatal
+//
+// Observability: /metrics (Prometheus, including serve_* queue/shed/
+// deadline/drain series), /status (JSON snapshot), /debug/pprof/,
+// /healthz (liveness), /readyz (readiness; 503 while draining).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sdpm/internal/cli"
+	"sdpm/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	inflight := flag.Int("inflight", 0, "max concurrently executing requests (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "max requests waiting for a slot before shedding with 429 (0 = 4x -inflight)")
+	queueWait := flag.Duration("queue-wait", time.Second, "max time a queued request waits for an execution slot")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline (clients override with ?timeout=, capped by -max-timeout)")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested ?timeout= deadlines")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "bound on graceful drain after SIGTERM/SIGINT")
+	workers := flag.Int("workers", 0, "simulation workers per experiment request (0 = GOMAXPROCS); output is identical for every value")
+	retries := flag.Int("retries", 0, "extra attempts for a failing or panicking experiment cell")
+	journalPath := flag.String("journal", "", "record completed experiment cells to this crash-safe journal; finalized atomically on drain")
+	resume := flag.Bool("resume", false, "reopen the -journal file and serve cells it already holds (requires -journal)")
+	chaosSpec := flag.String("chaos", "", "deterministic self-fault injection spec: seed=N,stall=P,stall_ms=MS,panic=P (empty or 'off' disables)")
+	verbose, quiet := cli.LogFlags(flag.CommandLine)
+	flag.Parse()
+	cli.SetupLogging("dpmd", *verbose, *quiet)
+
+	if *resume && *journalPath == "" {
+		cli.Fatal(errors.New("-resume requires -journal"))
+	}
+	chaos, err := serve.ParseChaos(*chaosSpec)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	if chaos != nil {
+		slog.Warn("chaos mode armed: injecting deterministic stalls/panics", "spec", *chaosSpec)
+	}
+	srv, err := serve.New(serve.Config{
+		MaxInflight:    *inflight,
+		MaxQueue:       *queue,
+		QueueWait:      *queueWait,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		DrainTimeout:   *drainTimeout,
+		Workers:        *workers,
+		Retries:        *retries,
+		JournalPath:    *journalPath,
+		Resume:         *resume,
+		Chaos:          chaos,
+	})
+	if err != nil {
+		cli.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	errCh := make(chan error, 1)
+	go func() {
+		if serr := httpSrv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+			errCh <- serr
+		}
+	}()
+	slog.Info("dpmd listening", "addr", ln.Addr().String(), "inflight", *inflight, "queue", *queue, "journal", *journalPath)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		slog.Info("signal received; draining", "signal", sig.String())
+	case serr := <-errCh:
+		cli.Fatal(serr)
+	}
+
+	// Graceful drain: readiness flips first so load balancers stop
+	// routing, the listener closes, in-flight requests finish within
+	// the drain budget, and the journal finalizes atomically. Exit 0
+	// only on a fully clean drain.
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if serr := httpSrv.Shutdown(ctx); serr != nil {
+		slog.Warn("listener shutdown incomplete", "err", serr)
+	}
+	if serr := srv.Drain(ctx); serr != nil {
+		cli.Fatal(serr)
+	}
+	slog.Info("drain complete; exiting")
+}

@@ -39,18 +39,19 @@
 //	                    after every simulation; fail loudly on drift
 //	-retries N          re-run a failing or panicking cell up to N
 //	                    extra times before reporting its error
+//	-timeout D          overall wall-clock budget (e.g. 5m); expiry
+//	                    cancels in-flight cells like SIGINT does, and
+//	                    partial metrics, events, and journal records
+//	                    are still flushed before the non-zero exit
 package main
 
 import (
 	"bytes"
-	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
 	"os"
-	"os/signal"
-	"syscall"
 
 	"sdpm"
 	"sdpm/internal/cli"
@@ -72,6 +73,7 @@ func main() {
 	resume := flag.Bool("resume", false, "reopen the -journal file and skip cells it already holds (requires -journal)")
 	audit := flag.Bool("audit", false, "verify conservation invariants after every simulation; fail on any violation")
 	retries := flag.Int("retries", 0, "extra attempts for a failing or panicking experiment cell")
+	timeout := flag.Duration("timeout", 0, "overall wall-clock budget for the run (e.g. 90s, 5m); on expiry in-flight cells cancel cleanly and partial metrics/events/journal records are still flushed before the non-zero exit (0 = no limit)")
 	batch := flag.Bool("batch", true, "batched steady-state simulation over compiled traces; -batch=false forces the general per-request path (output is byte-identical)")
 	verbose, quiet := cli.LogFlags(flag.CommandLine)
 	flag.Parse()
@@ -83,9 +85,10 @@ func main() {
 		}
 		return
 	}
-	// SIGINT/SIGTERM cancel in-flight experiment cells; partial
-	// metrics are still flushed before the process exits non-zero.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// SIGINT/SIGTERM — and the -timeout budget, when set — cancel
+	// in-flight experiment cells; partial metrics are still flushed
+	// before the process exits non-zero.
+	ctx, stop := cli.RootContext(*timeout)
 	defer stop()
 	if *resume && *journalPath == "" {
 		cli.Fatal(fmt.Errorf("-resume requires -journal"))

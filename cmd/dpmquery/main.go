@@ -15,6 +15,11 @@
 // Counts derived here (for example spin-up mispredictions) match the
 // metrics collector's counters for the same run: the event log is a
 // superset of the aggregate metrics.
+//
+// Exit status follows the benchdiff contract: 0 on success, 1 when
+// the query could not run against the data (unreadable or corrupt
+// event log), 2 on usage errors (bad flags, missing -in, stray
+// arguments).
 package main
 
 import (
@@ -29,33 +34,52 @@ import (
 )
 
 func main() {
-	in := flag.String("in", "", "event log to query (JSON Lines from -events-out; - for stdin)")
-	kind := flag.String("kind", "", "keep only events of this kind (spin_down, spin_up, rpm_shift, spinup_miss, bailout, fault, ...)")
-	pol := flag.String("policy", "", "keep only events of this policy/scheme label")
-	diskF := flag.Int("disk", -1, "keep only events of this disk (-1 = all)")
-	top := flag.Int("top", 0, "print the N decisions with the highest energy regret")
-	mispredict := flag.Bool("mispredict", false, "print spin-up misprediction counts and their timeline")
-	bailouts := flag.Bool("bailouts", false, "print the batching bail-out reason histogram")
-	diff := flag.String("diff", "", "second event log: compare per-policy/disk regret A (-in) vs B (-diff)")
-	verbose, quiet := cli.LogFlags(flag.CommandLine)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run parses args and executes one query, returning the process exit
+// code: 0 success, 1 data error (log unreadable or corrupt), 2 usage
+// error. Separated from main so the contract is table-testable.
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("dpmquery", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	in := fs.String("in", "", "event log to query (JSON Lines from -events-out; - for stdin)")
+	kind := fs.String("kind", "", "keep only events of this kind (spin_down, spin_up, rpm_shift, spinup_miss, bailout, fault, ...)")
+	pol := fs.String("policy", "", "keep only events of this policy/scheme label")
+	diskF := fs.Int("disk", -1, "keep only events of this disk (-1 = all)")
+	top := fs.Int("top", 0, "print the N decisions with the highest energy regret")
+	mispredict := fs.Bool("mispredict", false, "print spin-up misprediction counts and their timeline")
+	bailouts := fs.Bool("bailouts", false, "print the batching bail-out reason histogram")
+	diff := fs.String("diff", "", "second event log: compare per-policy/disk regret A (-in) vs B (-diff)")
+	verbose, quiet := cli.LogFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2 // flag package already printed the usage message
+	}
 	cli.SetupLogging("dpmquery", *verbose, *quiet)
 
 	if *in == "" {
-		cli.Fatal(fmt.Errorf("-in is required"))
+		fmt.Fprintln(errw, "dpmquery: -in is required")
+		fs.Usage()
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(errw, "dpmquery: unexpected argument %q\n", fs.Arg(0))
+		fs.Usage()
+		return 2
 	}
 	evs, err := loadLog(*in)
 	if err != nil {
-		cli.Fatal(err)
+		fmt.Fprintf(errw, "dpmquery: %v\n", err)
+		return 1
 	}
 	evs = events.Filter(evs, *kind, *pol, *diskF)
-	out := os.Stdout
 
 	switch {
 	case *diff != "":
 		other, err := loadLog(*diff)
 		if err != nil {
-			cli.Fatal(err)
+			fmt.Fprintf(errw, "dpmquery: %v\n", err)
+			return 1
 		}
 		other = events.Filter(other, *kind, *pol, *diskF)
 		printDiff(out, *in, *diff, evs, other)
@@ -68,6 +92,7 @@ func main() {
 	default:
 		printSummary(out, evs)
 	}
+	return 0
 }
 
 // loadLog reads one JSONL event log ("-" for stdin).

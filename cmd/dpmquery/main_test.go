@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTemp writes content to a fresh file and returns its path.
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// validLog is a minimal but well-formed JSONL event log.
+const validLog = `{"t_ms":1,"kind":"spin_down","policy":"tpm","disk":0}
+{"t_ms":2,"kind":"spin_up","policy":"tpm","disk":0}
+`
+
+// Exit-code contract, matching benchdiff: 0 success, 1 data error
+// (log unreadable or corrupt), 2 usage error (bad flags, missing -in,
+// stray positional arguments).
+func TestRunExitCodes(t *testing.T) {
+	log := writeTemp(t, "ok.jsonl", validLog)
+	corrupt := writeTemp(t, "bad.jsonl", "not json at all\n")
+	missing := filepath.Join(t.TempDir(), "nope.jsonl")
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+		errw string // substring expected on stderr ("" = don't care)
+	}{
+		{"summary ok", []string{"-in", log}, 0, ""},
+		{"top ok", []string{"-in", log, "-top", "5"}, 0, ""},
+		{"diff ok", []string{"-in", log, "-diff", log}, 0, ""},
+		{"filters ok", []string{"-in", log, "-kind", "spin_up", "-policy", "tpm", "-disk", "0"}, 0, ""},
+		{"missing file", []string{"-in", missing}, 1, "no such file"},
+		{"corrupt log", []string{"-in", corrupt}, 1, ""},
+		{"corrupt diff log", []string{"-in", log, "-diff", corrupt}, 1, ""},
+		{"missing -in", nil, 2, "-in is required"},
+		{"unknown flag", []string{"-in", log, "-frobnicate"}, 2, ""},
+		{"bad flag value", []string{"-in", log, "-top", "x"}, 2, ""},
+		{"stray argument", []string{"-in", log, "extra"}, 2, "unexpected argument"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errw bytes.Buffer
+			got := run(tc.args, &out, &errw)
+			if got != tc.want {
+				t.Fatalf("run(%q) = %d, want %d (stderr: %s)", tc.args, got, tc.want, errw.String())
+			}
+			if tc.errw != "" && !strings.Contains(errw.String(), tc.errw) {
+				t.Fatalf("stderr %q does not contain %q", errw.String(), tc.errw)
+			}
+		})
+	}
+}
+
+// The summary view over a valid log must report its event count.
+func TestRunSummaryOutput(t *testing.T) {
+	log := writeTemp(t, "ok.jsonl", validLog)
+	var out, errw bytes.Buffer
+	if got := run([]string{"-in", log}, &out, &errw); got != 0 {
+		t.Fatalf("run = %d, want 0 (stderr: %s)", got, errw.String())
+	}
+	if !strings.Contains(out.String(), "events       2") {
+		t.Fatalf("summary output missing event count:\n%s", out.String())
+	}
+}

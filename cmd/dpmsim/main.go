@@ -35,6 +35,9 @@
 //	-audit              verify conservation invariants (energy/time
 //	                    bookkeeping, state-machine legality) after the
 //	                    run; fail loudly on any violation
+//	-timeout D          overall wall-clock budget (e.g. 90s); expiry
+//	                    cancels in-flight comparison runs like SIGINT
+//	                    does, with partial metrics still flushed
 //	-v / -q             debug-level / warnings-only structured logs
 //
 // File outputs (-metrics-out, -trace-out) are written atomically:
@@ -48,9 +51,7 @@ import (
 	"io"
 	"log/slog"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 
 	"sdpm/internal/cli"
 	"sdpm/internal/disk"
@@ -83,6 +84,7 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "fault schedule seed; the same seed reproduces the exact fault pattern")
 	audit := flag.Bool("audit", false, "verify conservation invariants (energy/time bookkeeping, state-machine legality) after the run; fail on any violation")
 	batch := flag.Bool("batch", true, "batched steady-state executor over the trace's compiled runs; -batch=false forces the general per-request path (results are bit-identical)")
+	timeout := flag.Duration("timeout", 0, "overall wall-clock budget for the run (e.g. 90s); on expiry in-flight comparison runs cancel cleanly and partial metrics/events are still flushed before the non-zero exit (0 = no limit)")
 	verbose, quiet := cli.LogFlags(flag.CommandLine)
 	flag.Parse()
 	cli.SetupLogging("dpmsim", *verbose, *quiet)
@@ -158,9 +160,10 @@ func main() {
 		}
 	}
 
-	// SIGINT/SIGTERM cancel in-flight comparison runs; metrics
-	// accumulated so far are still flushed before the non-zero exit.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// SIGINT/SIGTERM — and the -timeout budget, when set — cancel
+	// in-flight comparison runs; metrics accumulated so far are still
+	// flushed before the non-zero exit.
+	ctx, stop := cli.RootContext(*timeout)
 	defer stop()
 
 	if strings.EqualFold(*pol, "all") {

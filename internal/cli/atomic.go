@@ -10,9 +10,12 @@ import (
 // writer runs against "<path>.tmp", which is fsynced, closed, and
 // renamed over the destination only if every step succeeded. A crash
 // or write error never leaves a half-written file at path — at worst
-// a stale .tmp, which the next successful write replaces. The
-// containing directory is fsynced best-effort so the rename itself
-// survives a crash.
+// a stale .tmp, which the next successful write replaces. After the
+// rename the containing directory is fsynced too, so the new
+// directory entry itself survives a crash — without it the rename can
+// still be sitting in the page cache when the machine dies, and the
+// journal/metrics/events file quietly reverts to its old bytes (or
+// vanishes).
 func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -37,9 +40,19 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 		os.Remove(tmp)
 		return err
 	}
-	if dir, err := os.Open(filepath.Dir(path)); err == nil {
-		dir.Sync()
-		dir.Close()
+	return SyncDir(filepath.Dir(path))
+}
+
+// SyncDir fsyncs a directory so a rename within it is durable. On
+// platforms or filesystems where directories cannot be opened for
+// syncing the open failure is ignored (there is nothing actionable),
+// but a real fsync failure on an opened directory is reported: it
+// means the rename's durability is genuinely unknown.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
 	}
-	return nil
+	defer d.Close()
+	return d.Sync()
 }

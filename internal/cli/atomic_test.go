@@ -1,0 +1,80 @@
+package cli
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// A successful write lands the exact bytes at the destination and
+// leaves no .tmp sibling behind; writing into a subdirectory
+// exercises the rename + directory-fsync path on a dir that is not
+// the test's cwd.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested")
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "out.txt")
+	// Overwrite an existing file to prove rename replaces, not appends.
+	if err := os.WriteFile(path, []byte("stale"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("fresh contents\n"))
+		return err
+	})
+	if err != nil {
+		t.Fatalf("WriteFileAtomic: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "fresh contents\n" {
+		t.Fatalf("destination holds %q, want %q", got, "fresh contents\n")
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file left behind: stat err = %v", err)
+	}
+}
+
+// A failing writer must leave the old destination untouched and clean
+// up its temp file — the atomicity contract under error.
+func TestWriteFileAtomicWriterErrorKeepsOld(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		w.Write([]byte("partial"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want the writer's", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "old" {
+		t.Fatalf("destination changed to %q after failed write", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file left behind after failure: stat err = %v", err)
+	}
+}
+
+// SyncDir ignores an unopenable directory (nothing actionable) but
+// succeeds on a real one.
+func TestSyncDir(t *testing.T) {
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Fatalf("SyncDir(real dir): %v", err)
+	}
+	if err := SyncDir(filepath.Join(t.TempDir(), "missing")); err != nil {
+		t.Fatalf("SyncDir(missing dir) = %v, want nil", err)
+	}
+}

@@ -32,6 +32,24 @@ func StartDebugServer(addr string, coll *obs.Collector, status func() any) (stri
 	if err != nil {
 		return "", nil, err
 	}
+	mux := DebugMux(coll, status)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			slog.Warn("debug server stopped", "err", err)
+		}
+	}()
+	bound := ln.Addr().String()
+	slog.Info("debug endpoint listening", "addr", bound)
+	return bound, func() { _ = srv.Close() }, nil
+}
+
+// DebugMux builds the introspection mux behind StartDebugServer —
+// /metrics, /status, and /debug/pprof/ — without binding a listener,
+// so a long-lived service (cmd/dpmd) can mount the same endpoints on
+// its own mux next to its API routes. coll and status may be nil, as
+// in StartDebugServer.
+func DebugMux(coll *obs.Collector, status func() any) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -64,13 +82,5 @@ func StartDebugServer(addr string, coll *obs.Collector, status func() any) (stri
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go func() {
-		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			slog.Warn("debug server stopped", "err", err)
-		}
-	}()
-	bound := ln.Addr().String()
-	slog.Info("debug endpoint listening", "addr", bound)
-	return bound, func() { _ = srv.Close() }, nil
+	return mux
 }

@@ -1,0 +1,30 @@
+package cli
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// RootContext builds the tools' shared root context: it is canceled
+// by SIGINT/SIGTERM, and — when timeout is positive — additionally
+// expires after that duration (the -timeout flag). Cancellation flows
+// through the engine's existing paths (runner pools stop claiming
+// cells, suites return the context's error) and the callers' partial
+// flushes still run, so a timed-out run behaves exactly like an
+// interrupted one: metrics, events, and journal records produced so
+// far survive. The returned stop function releases the signal
+// registration and the timer; call it on every exit path.
+func RootContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	tctx, cancel := context.WithTimeout(ctx, timeout)
+	return tctx, func() {
+		cancel()
+		stop()
+	}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"sort"
+
+	"sdpm/internal/stats"
+)
+
+// IDs returns the experiment identifiers accepted by Render, in the
+// paper's order.
+func IDs() []string {
+	return []string{
+		"table1", "table2", "fig3", "fig4", "table3",
+		"fig5", "fig6", "fig7", "fig8", "fig13",
+		"applicability", "ext-interchange", "ext-multiprogram",
+		"ablation-preactivation", "ablation-noise", "ablation-cache", "ablation-clustering",
+		"ablation-openloop", "ablation-seek", "breakdown",
+		"faults-energy", "faults-time",
+	}
+}
+
+// Render regenerates one experiment id on a prepared suite and
+// renders it to out as "text" (aligned tables) or "csv". It is the
+// single dispatch point shared by the sdpm library entry points and
+// the serving layer; the id "all" is the caller's concern (loop over
+// IDs) so that per-experiment cancellation points stay visible.
+func Render(s *Suite, id string, out io.Writer, format string) error {
+	slog.Debug("experiment start", "id", id, "workers", s.Workers)
+	text, table, err := build(s, id)
+	if err != nil {
+		return err
+	}
+	slog.Debug("experiment done", "id", id)
+	if table != nil {
+		if format == "csv" {
+			return table.RenderCSV(out)
+		}
+		table.Render(out)
+		return nil
+	}
+	_, err = io.WriteString(out, text)
+	return err
+}
+
+// build produces one experiment's output: either preformatted text
+// (Table 1) or a numeric table.
+func build(s *Suite, id string) (string, *stats.Table, error) {
+	one := func(t *stats.Table, err error) (string, *stats.Table, error) { return "", t, err }
+	pair := func(a, b *stats.Table, err error, first bool) (string, *stats.Table, error) {
+		if err != nil {
+			return "", nil, err
+		}
+		if first {
+			return "", a, nil
+		}
+		return "", b, nil
+	}
+	switch id {
+	case "table1":
+		return s.Table1(), nil, nil
+	case "table2":
+		return one(s.Table2())
+	case "fig3":
+		return one(s.Figure3())
+	case "fig4":
+		return one(s.Figure4())
+	case "table3":
+		return one(s.Table3())
+	case "fig5":
+		a, b, err := s.Figures56(nil)
+		return pair(a, b, err, true)
+	case "fig6":
+		a, b, err := s.Figures56(nil)
+		return pair(a, b, err, false)
+	case "fig7":
+		a, b, err := s.Figures78(nil)
+		return pair(a, b, err, true)
+	case "fig8":
+		a, b, err := s.Figures78(nil)
+		return pair(a, b, err, false)
+	case "fig13":
+		return one(s.Figure13())
+	case "applicability":
+		return one(s.VersionApplicability())
+	case "ext-interchange":
+		return one(s.ExtensionInterchange())
+	case "ext-multiprogram":
+		return one(s.ExtensionMultiprogram())
+	case "ablation-preactivation":
+		return one(s.AblationPreactivation())
+	case "ablation-noise":
+		return one(s.AblationNoise("mesa", nil))
+	case "ablation-cache":
+		return one(s.AblationCache())
+	case "ablation-clustering":
+		return one(s.AblationClustering())
+	case "ablation-openloop":
+		return one(s.AblationOpenLoop())
+	case "ablation-seek":
+		return one(s.AblationSeekModel())
+	case "breakdown":
+		return one(s.EnergyBreakdown())
+	case "faults-energy":
+		a, b, err := s.FaultImpact("swim", s.FaultSeed)
+		return pair(a, b, err, true)
+	case "faults-time":
+		a, b, err := s.FaultImpact("swim", s.FaultSeed)
+		return pair(a, b, err, false)
+	default:
+		ids := append([]string{"all"}, IDs()...)
+		sort.Strings(ids)
+		return "", nil, fmt.Errorf("sdpm: unknown experiment %q (have %v)", id, ids)
+	}
+}

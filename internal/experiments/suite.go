@@ -82,6 +82,16 @@ type Suite struct {
 	// runner.Pool.WithRetry). Simulation cells are deterministic, so
 	// this only helps transient failures (e.g. memory pressure).
 	Retries int
+	// Cache, when non-nil, replaces the suite's private instance memo
+	// with a shared one, so preparations survive the suite itself. A
+	// long-lived service creates one Cache and threads it through every
+	// per-request Suite: repeated requests for the same (workload,
+	// configuration) then skip the compile→analysis→trace pipeline
+	// entirely. The shared cache keys on program identity, so callers
+	// must also share Benchmarks (the same *workloads.Benchmark values)
+	// across suites. Set it before the first experiment; its Obs/Events
+	// attachments win over the suite's.
+	Cache *core.Cache
 
 	cacheOnce sync.Once
 	cache     *core.Cache
@@ -95,10 +105,15 @@ func NewSuite() *Suite {
 	return &Suite{Cfg: cfg, Benchmarks: workloads.All()}
 }
 
-// memo returns the suite's shared instance cache (created lazily so
+// memo returns the suite's instance cache: the injected shared Cache
+// when one is set, otherwise a private one (created lazily so
 // zero-constructed suites work too).
 func (s *Suite) memo() *core.Cache {
 	s.cacheOnce.Do(func() {
+		if s.Cache != nil {
+			s.cache = s.Cache
+			return
+		}
 		s.cache = core.NewCache()
 		s.cache.Obs = s.Obs
 		s.cache.Events = s.Events

@@ -373,6 +373,19 @@ func (p *Plan) draw(stream uint64, disk int, k uint64) float64 {
 	return float64(h>>11) / (1 << 53)
 }
 
+// Uniform maps one (seed, stream, k) coordinate to a deterministic
+// uniform [0,1) float through the splitmix64 finalizer — the same
+// generator the fault plans draw from, exported so other subsystems
+// (for example the serving layer's chaos injector) derive their own
+// independent decision streams with identical reproducibility
+// guarantees: the same triple always yields the same value, on any
+// platform, at any concurrency.
+func Uniform(seed int64, stream uint64, k uint64) float64 {
+	h := mix64(uint64(seed) ^ stream)
+	h = mix64(h ^ (k + 1))
+	return float64(h>>11) / (1 << 53)
+}
+
 // SpinUpFails reports whether the attempt-th spin-up attempt on the
 // given disk fails (attempt indexes every attempt on the disk over a
 // run, in simulation order).

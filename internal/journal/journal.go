@@ -68,6 +68,26 @@ func (e *CorruptError) Error() string {
 
 func (e *CorruptError) Unwrap() error { return e.Err }
 
+// errHeld is the platform lock primitive's "somebody else holds it"
+// result, wrapped into a *LockError with the path by Create/Open.
+var errHeld = errors.New("journal: write lock held")
+
+// LockError reports that the journal at Path is already open for
+// writing — by another process, or by another Journal value in this
+// one. Two concurrent writers would interleave appends and corrupt
+// the file, so Create and Open fail fast with this typed error
+// instead; a resume attempted while a finalize is still in flight
+// fails the same way. The lock is advisory (flock) and the kernel
+// drops it when the holder's descriptor closes, so a crashed writer
+// never wedges the journal.
+type LockError struct {
+	Path string
+}
+
+func (e *LockError) Error() string {
+	return fmt.Sprintf("journal: %s: already locked by another writer", e.Path)
+}
+
 // EncodeLine renders a record in the on-disk line format, including
 // the trailing newline. It fails if the values cannot round-trip
 // through JSON (NaN or infinity).
@@ -130,23 +150,51 @@ type Journal struct {
 	truncated int // bytes of torn tail discarded on open
 }
 
-// Create opens a fresh journal at path, truncating any existing file.
+// Create opens a fresh journal at path, truncating any existing
+// file. It fails with a *LockError if another writer already holds
+// the journal open.
 func Create(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	// Lock before truncating: opening with O_TRUNC would destroy a
+	// live writer's records before the lock check could refuse.
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
+	if err := acquire(f, path); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(0); err != nil {
+		f.Close()
+		return nil, err
+	}
 	return &Journal{path: path, f: f, vals: make(map[string][]float64)}, nil
+}
+
+// acquire wraps the platform lock with the typed error.
+func acquire(f *os.File, path string) error {
+	if err := lockFile(f); err != nil {
+		if errors.Is(err, errHeld) {
+			return &LockError{Path: path}
+		}
+		return err
+	}
+	return nil
 }
 
 // Open opens the journal at path for resumption, creating it if it
 // does not exist. Every valid record is loaded (the last write for a
 // key wins); a torn tail left by a crash is truncated away. Invalid
 // records that are *not* the tail mean the file was corrupted some
-// other way, and Open fails with a *CorruptError.
+// other way, and Open fails with a *CorruptError. Like Create, Open
+// fails with a *LockError while another writer holds the journal.
 func Open(path string) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
+		return nil, err
+	}
+	if err := acquire(f, path); err != nil {
+		f.Close()
 		return nil, err
 	}
 	j := &Journal{path: path, f: f, vals: make(map[string][]float64)}

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package journal
+
+import "os"
+
+// lockFile is a no-op where flock is unavailable; the journal then
+// relies on the caller not to double-open, exactly as before the
+// guard existed.
+func lockFile(f *os.File) error { return nil }

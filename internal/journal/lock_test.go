@@ -1,0 +1,108 @@
+//go:build unix
+
+package journal
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// Two writers on the same path must not interleave appends; the
+// second opener fails fast with the typed lock error, whichever
+// combination of Create/Open the two use.
+func TestSecondWriterFailsFastWithLockError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.journal")
+	first, err := Create(path)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer first.Close()
+	if err := first.Append("cell", []float64{1}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	for _, open := range []struct {
+		name string
+		fn   func(string) (*Journal, error)
+	}{
+		{"Create", Create},
+		{"Open", Open},
+	} {
+		j, err := open.fn(path)
+		if err == nil {
+			j.Close()
+			t.Fatalf("%s succeeded while first writer holds the journal", open.name)
+		}
+		var le *LockError
+		if !errors.As(err, &le) {
+			t.Fatalf("%s: got %v, want *LockError", open.name, err)
+		}
+		if le.Path != path {
+			t.Fatalf("%s: LockError.Path = %q, want %q", open.name, le.Path, path)
+		}
+	}
+	// The refused Create must not have truncated the live journal.
+	if _, ok := first.Lookup("cell"); !ok {
+		t.Fatal("first writer lost its record after a refused second open")
+	}
+	if err := first.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Lock released with the descriptor: a resume now succeeds and
+	// sees the record.
+	j, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	defer j.Close()
+	if v, ok := j.Lookup("cell"); !ok || v[0] != 1 {
+		t.Fatalf("resume after unlock: got %v %v, want [1] true", v, ok)
+	}
+}
+
+// A resume racing a finalize must never see a half-written file: each
+// Open either fails with the lock error (finalizer still holds the
+// journal) or succeeds and reads a complete, valid journal.
+func TestResumeDuringFinalize(t *testing.T) {
+	const rounds = 50
+	for i := 0; i < rounds; i++ {
+		path := filepath.Join(t.TempDir(), "results.journal")
+		j, err := Create(path)
+		if err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		for _, k := range []string{"b", "a", "c"} {
+			if err := j.Append(k, []float64{float64(i)}); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := j.Finalize(); err != nil {
+				t.Errorf("Finalize: %v", err)
+			}
+		}()
+		r, err := Open(path)
+		if err != nil {
+			var le *LockError
+			if !errors.As(err, &le) {
+				t.Fatalf("Open during finalize: got %v, want success or *LockError", err)
+			}
+			wg.Wait()
+			continue
+		}
+		// Open won the race (or read the finalized file): it must hold
+		// all three records with no corruption and no torn tail.
+		if r.Len() != 3 {
+			t.Fatalf("resume saw %d records, want 3", r.Len())
+		}
+		if _, torn := r.Recovered(); torn != 0 {
+			t.Fatalf("resume truncated %d bytes from a journal mid-finalize", torn)
+		}
+		r.Close()
+		wg.Wait()
+	}
+}

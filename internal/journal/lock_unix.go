@@ -1,0 +1,22 @@
+//go:build unix
+
+package journal
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// lockFile takes the journal's exclusive advisory lock (flock). The
+// lock belongs to the open file description, so it excludes a second
+// opener in the same process just as it excludes another process, and
+// the kernel releases it automatically when the descriptor closes —
+// a crashed writer never leaves a stale lock behind.
+func lockFile(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if errors.Is(err, syscall.EWOULDBLOCK) {
+		return errHeld
+	}
+	return err
+}

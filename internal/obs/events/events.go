@@ -34,6 +34,7 @@ const (
 	KindJournalMiss = "journal_miss" // experiment cell computed (journal had no entry)
 	KindCellRetry   = "cell_retry"   // runner retried a failed cell
 	KindCellPanic   = "cell_panic"   // runner recovered a cell panic
+	KindServe       = "serve"        // serving-layer lifecycle (shed/deadline/drain/panic)
 )
 
 // Decision triggers: what prompted a decision-kind event.

@@ -232,6 +232,20 @@ type Collector struct {
 	journalHits   atomic.Int64
 	journalMisses atomic.Int64
 
+	// Serving-layer counters (see internal/serve): request admission,
+	// load shedding, deadline expiries, client cancellations, and the
+	// drain transition, plus live inflight/queued gauges and the
+	// queue-wait and handler latency histograms.
+	serveAccepted atomic.Int64
+	serveShed     atomic.Int64
+	serveDeadline atomic.Int64
+	serveCanceled atomic.Int64
+	serveDrains   atomic.Int64
+	serveInflight atomic.Int64
+	serveQueued   atomic.Int64
+	serveWaitMS   Histogram
+	serveMS       Histogram
+
 	mu    sync.Mutex // serializes EnsureDisks growth
 	disks atomic.Pointer[[]*diskMetrics]
 }
@@ -518,4 +532,93 @@ func (c *Collector) JournalStats() (hits, misses int64) {
 		return 0, 0
 	}
 	return c.journalHits.Load(), c.journalMisses.Load()
+}
+
+// ServeAdmitted records one request admitted past the serving layer's
+// admission queue after waiting waitMS milliseconds for a slot.
+func (c *Collector) ServeAdmitted(waitMS float64) {
+	if c == nil {
+		return
+	}
+	c.serveAccepted.Add(1)
+	c.serveWaitMS.Observe(waitMS)
+}
+
+// ServeFinished records one admitted request's handler latency.
+func (c *Collector) ServeFinished(handleMS float64) {
+	if c == nil {
+		return
+	}
+	c.serveMS.Observe(handleMS)
+}
+
+// CountServeShed records a request rejected by admission control
+// (queue full, or the queue-wait budget expired before a slot freed).
+func (c *Collector) CountServeShed() {
+	if c == nil {
+		return
+	}
+	c.serveShed.Add(1)
+}
+
+// CountServeDeadline records a request whose deadline expired while
+// it was queued or executing (a 504 response).
+func (c *Collector) CountServeDeadline() {
+	if c == nil {
+		return
+	}
+	c.serveDeadline.Add(1)
+}
+
+// CountServeCanceled records a request abandoned by its client before
+// a result could be written.
+func (c *Collector) CountServeCanceled() {
+	if c == nil {
+		return
+	}
+	c.serveCanceled.Add(1)
+}
+
+// CountServeDrain records one drain transition (readiness flipped to
+// draining; the listener stops accepting new work).
+func (c *Collector) CountServeDrain() {
+	if c == nil {
+		return
+	}
+	c.serveDrains.Add(1)
+}
+
+// ServeInflight adjusts the executing-request gauge.
+func (c *Collector) ServeInflight(delta int64) {
+	if c == nil {
+		return
+	}
+	c.serveInflight.Add(delta)
+}
+
+// ServeQueued adjusts the admission-queue depth gauge.
+func (c *Collector) ServeQueued(delta int64) {
+	if c == nil {
+		return
+	}
+	c.serveQueued.Add(delta)
+}
+
+// ServeStats returns the serving-layer counters: admitted requests,
+// shed requests, deadline expiries, client cancellations, and drain
+// transitions.
+func (c *Collector) ServeStats() (accepted, shed, deadline, canceled, drains int64) {
+	if c == nil {
+		return 0, 0, 0, 0, 0
+	}
+	return c.serveAccepted.Load(), c.serveShed.Load(),
+		c.serveDeadline.Load(), c.serveCanceled.Load(), c.serveDrains.Load()
+}
+
+// ServeGauges returns the live (inflight, queued) serving gauges.
+func (c *Collector) ServeGauges() (inflight, queued int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.serveInflight.Load(), c.serveQueued.Load()
 }

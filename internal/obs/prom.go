@@ -93,6 +93,16 @@ func WritePrometheusSnapshot(w io.Writer, s *Snapshot) error {
 
 	writeCounter(bw, "sdpm_journal_hits_total", "Experiment cells served from the result journal on resume.", s.JournalHits)
 	writeCounter(bw, "sdpm_journal_misses_total", "Experiment cells computed and appended to the result journal.", s.JournalMisses)
+
+	writeCounter(bw, "sdpm_serve_accepted_total", "Requests admitted past the serving layer's admission queue.", s.ServeAccepted)
+	writeCounter(bw, "sdpm_serve_shed_total", "Requests rejected by admission control (queue full or queue-wait budget expired).", s.ServeShed)
+	writeCounter(bw, "sdpm_serve_deadline_total", "Requests whose deadline expired while queued or executing (504).", s.ServeDeadline)
+	writeCounter(bw, "sdpm_serve_canceled_total", "Requests abandoned by their client before completion.", s.ServeCanceled)
+	writeCounter(bw, "sdpm_serve_drains_total", "Drain transitions (readiness flipped to draining).", s.ServeDrains)
+	writeGauge(bw, "sdpm_serve_inflight", "Requests currently executing in the serving layer.", s.ServeInflight)
+	writeGauge(bw, "sdpm_serve_queue_depth", "Requests currently waiting in the admission queue.", s.ServeQueued)
+	writeHistogram(bw, "sdpm_serve_queue_wait_ms", "Admission-queue wait of accepted requests in milliseconds.", &s.ServeWaitMS)
+	writeHistogram(bw, "sdpm_serve_handle_ms", "Handler latency of admitted requests in milliseconds.", &s.ServeMS)
 	return bw.Flush()
 }
 

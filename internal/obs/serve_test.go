@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The serving-layer counters, gauges, and histograms accumulate,
+// snapshot, and render — and every method is nil-receiver safe, like
+// the rest of the collector.
+func TestServeMetrics(t *testing.T) {
+	c := New()
+	c.ServeAdmitted(1.5)
+	c.ServeAdmitted(40)
+	c.ServeFinished(12)
+	c.CountServeShed()
+	c.CountServeShed()
+	c.CountServeDeadline()
+	c.CountServeCanceled()
+	c.CountServeDrain()
+	c.ServeInflight(1)
+	c.ServeQueued(2)
+	c.ServeQueued(-1)
+
+	accepted, shed, deadline, canceled, drains := c.ServeStats()
+	if accepted != 2 || shed != 2 || deadline != 1 || canceled != 1 || drains != 1 {
+		t.Fatalf("ServeStats = %d %d %d %d %d", accepted, shed, deadline, canceled, drains)
+	}
+	inflight, queued := c.ServeGauges()
+	if inflight != 1 || queued != 1 {
+		t.Fatalf("ServeGauges = %d %d", inflight, queued)
+	}
+
+	s := c.Snapshot()
+	if s.ServeAccepted != 2 || s.ServeShed != 2 || s.ServeDeadline != 1 ||
+		s.ServeCanceled != 1 || s.ServeDrains != 1 ||
+		s.ServeInflight != 1 || s.ServeQueued != 1 {
+		t.Fatalf("snapshot serve fields wrong: %+v", s)
+	}
+	if s.ServeWaitMS.Count != 2 || s.ServeMS.Count != 1 {
+		t.Fatalf("serve histograms: wait count %d, handle count %d", s.ServeWaitMS.Count, s.ServeMS.Count)
+	}
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, series := range []string{
+		"sdpm_serve_accepted_total 2",
+		"sdpm_serve_shed_total 2",
+		"sdpm_serve_deadline_total 1",
+		"sdpm_serve_canceled_total 1",
+		"sdpm_serve_drains_total 1",
+		"sdpm_serve_inflight 1",
+		"sdpm_serve_queue_depth 1",
+		"sdpm_serve_queue_wait_ms_count 2",
+		"sdpm_serve_handle_ms_count 1",
+	} {
+		if !strings.Contains(out, series) {
+			t.Fatalf("prometheus output missing %q:\n%s", series, out)
+		}
+	}
+}
+
+// A nil collector absorbs every serving-layer call and reports zeros,
+// so unobserved servers need no branches.
+func TestServeMetricsNilCollector(t *testing.T) {
+	var c *Collector
+	c.ServeAdmitted(1)
+	c.ServeFinished(1)
+	c.CountServeShed()
+	c.CountServeDeadline()
+	c.CountServeCanceled()
+	c.CountServeDrain()
+	c.ServeInflight(1)
+	c.ServeQueued(1)
+	if a, s, d, x, dr := c.ServeStats(); a|s|d|x|dr != 0 {
+		t.Fatalf("nil ServeStats = %d %d %d %d %d", a, s, d, x, dr)
+	}
+	if i, q := c.ServeGauges(); i|q != 0 {
+		t.Fatalf("nil ServeGauges = %d %d", i, q)
+	}
+}

@@ -147,6 +147,17 @@ func (p *Pool) Workers() int {
 	return p.workers
 }
 
+// Run executes fn as a single isolated cell on the calling goroutine:
+// a panic inside fn is recovered and returned as a *CellError (index
+// 0) exactly as Map would report it, the pool's retry policy applies,
+// and the collector's task counters observe the cell. It is the
+// serving layer's per-request isolation boundary — one poisoned
+// request degrades to a typed error instead of killing the process —
+// and is equivalent to Map(1, func(int) error { return fn() }).
+func (p *Pool) Run(fn func() error) error {
+	return p.Map(1, func(int) error { return fn() })
+}
+
 // Map runs fn(i) for every i in [0, n), using the calling goroutine
 // plus up to Workers()-1 helper goroutines. All cells run even when
 // some fail; the returned error is the one with the lowest index

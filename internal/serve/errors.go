@@ -1,0 +1,115 @@
+// Package serve turns the simulation engine into a hardened HTTP/JSON
+// service: bounded admission with load shedding, per-request deadlines
+// propagated as contexts into the engine's existing cancellation
+// paths, idempotency-key result caching, per-request panic isolation
+// on the worker-pool cell boundary, and graceful drain that finishes
+// in-flight work and finalizes the shared journal before exit. Every
+// request-path failure is a typed *Error with a stable kind and HTTP
+// status — the service never panics or exits on a bad request.
+//
+// cmd/dpmd is the daemon wrapping this package; docs/serving.md
+// documents the API and the operational contract.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Kind classifies a request failure. Kinds are the service's error
+// contract: clients branch on the kind string (and the paired HTTP
+// status), never on message text.
+type Kind string
+
+const (
+	// KindValidation — the request itself is malformed: unknown
+	// benchmark or experiment, bad JSON, out-of-range parameter. 400.
+	KindValidation Kind = "validation"
+	// KindOverload — the service shed the request: the admission
+	// queue is full or the queue-wait budget expired before a slot
+	// freed. Retry after the hinted backoff. 429.
+	KindOverload Kind = "overload"
+	// KindDeadline — the per-request deadline expired while the work
+	// ran; partial-progress metadata rides in Meta. 504.
+	KindDeadline Kind = "deadline"
+	// KindCanceled — the client went away before the work finished
+	// (connection closed). 499 (the de-facto client-closed status).
+	KindCanceled Kind = "canceled"
+	// KindConflict — an idempotency key was reused with a different
+	// request body. 409.
+	KindConflict Kind = "conflict"
+	// KindUnavailable — the service is draining and accepts no new
+	// work. 503.
+	KindUnavailable Kind = "unavailable"
+	// KindInternal — the work failed or panicked; the panic is
+	// contained to this request. 500.
+	KindInternal Kind = "internal"
+)
+
+// Error is the service's typed request failure.
+type Error struct {
+	Kind Kind
+	Msg  string
+	// RetryAfter, when positive, becomes a Retry-After header — the
+	// backoff hint on overload and drain responses.
+	RetryAfter time.Duration
+	// Meta carries structured context, e.g. partial-progress fields
+	// (elapsed_ms, journal_cells) on a deadline failure.
+	Meta map[string]any
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("serve: %s: %s", e.Kind, e.Msg) }
+
+// HTTPStatus maps the kind to its response status.
+func (e *Error) HTTPStatus() int {
+	switch e.Kind {
+	case KindValidation:
+		return http.StatusBadRequest
+	case KindOverload:
+		return http.StatusTooManyRequests
+	case KindDeadline:
+		return http.StatusGatewayTimeout
+	case KindCanceled:
+		return 499
+	case KindConflict:
+		return http.StatusConflict
+	case KindUnavailable:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// errBody is the JSON error envelope every failure returns.
+type errBody struct {
+	Error errDetail `json:"error"`
+}
+
+type errDetail struct {
+	Kind    Kind           `json:"kind"`
+	Message string         `json:"message"`
+	Meta    map[string]any `json:"meta,omitempty"`
+}
+
+// writeError renders e as the JSON error envelope with its status and
+// optional Retry-After header.
+func writeError(w http.ResponseWriter, e *Error) {
+	w.Header().Set("Content-Type", "application/json")
+	if e.RetryAfter > 0 {
+		secs := int(e.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	w.WriteHeader(e.HTTPStatus())
+	json.NewEncoder(w).Encode(errBody{Error: errDetail{Kind: e.Kind, Message: e.Msg, Meta: e.Meta}})
+}
+
+// validationf builds a KindValidation error.
+func validationf(format string, args ...any) *Error {
+	return &Error{Kind: KindValidation, Msg: fmt.Sprintf(format, args...)}
+}

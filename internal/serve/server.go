@@ -1,0 +1,672 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"slices"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdpm/internal/cli"
+	"sdpm/internal/core"
+	"sdpm/internal/experiments"
+	"sdpm/internal/faults"
+	"sdpm/internal/journal"
+	"sdpm/internal/obs"
+	"sdpm/internal/obs/events"
+	"sdpm/internal/runner"
+	"sdpm/internal/workloads"
+)
+
+// Config tunes the service. The zero value is usable: Complete fills
+// every unset field with the defaults below.
+type Config struct {
+	// MaxInflight bounds concurrently executing requests
+	// (0 = GOMAXPROCS).
+	MaxInflight int
+	// MaxQueue bounds requests waiting for an execution slot; a full
+	// queue sheds new work with 429 (0 = 4x MaxInflight).
+	MaxQueue int
+	// QueueWait bounds how long an admitted-to-queue request may wait
+	// for a slot before it is shed (0 = 1s).
+	QueueWait time.Duration
+	// DefaultTimeout is the per-request deadline when the client sends
+	// no ?timeout (0 = 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the client-requested ?timeout (0 = 2m).
+	MaxTimeout time.Duration
+	// DrainTimeout bounds graceful drain: in-flight requests get this
+	// long to finish after shutdown begins (0 = 15s).
+	DrainTimeout time.Duration
+	// Workers is each experiment request's simulation parallelism
+	// (0 = GOMAXPROCS); results are byte-identical for every value.
+	Workers int
+	// Retries re-runs a failing or panicking experiment cell, exactly
+	// as dpmexp -retries does.
+	Retries int
+	// JournalPath, when set, records every completed experiment cell
+	// to this crash-safe journal, shared across all requests; it is
+	// compacted and finalized atomically on drain. The file uses the
+	// same cell keys as dpmexp, so a dpmd journal resumes a dpmexp run
+	// and vice versa.
+	JournalPath string
+	// Resume reopens an existing journal instead of truncating it.
+	Resume bool
+	// Chaos, when non-nil, arms deterministic self-fault injection
+	// (handler stalls and synthetic panics) for robustness testing.
+	Chaos *Chaos
+	// Obs receives the service's metrics next to the engine's; nil
+	// creates a private collector (exposed on /metrics either way).
+	Obs *obs.Collector
+	// Events receives serving-layer and engine events; nil creates a
+	// private log.
+	Events *events.Log
+}
+
+// Complete fills unset fields with defaults.
+func (c *Config) Complete() {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInflight
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = time.Second
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 15 * time.Second
+	}
+	if c.Obs == nil {
+		c.Obs = obs.New()
+	}
+	if c.Events == nil {
+		c.Events = events.NewLog(0)
+	}
+}
+
+// Server is the simulation service. Create with New; serve its
+// Handler; stop with BeginDrain + Drain.
+type Server struct {
+	cfg   Config
+	coll  *obs.Collector
+	event *events.Log
+	admit *admitter
+	idem  *idemCache
+	chaos *Chaos
+
+	// benchmarks is the one workloads.All() slice the server ever
+	// uses: the shared instance cache keys on program identity, so
+	// every request must see the same *workloads.Benchmark values.
+	benchmarks []*workloads.Benchmark
+	cache      *core.Cache
+	journal    *journal.Journal
+
+	// mu orders the drain flag against in-flight registration: a
+	// handler holds the read side while it checks draining and joins
+	// the WaitGroup, so BeginDrain's write observes either the
+	// registered request (and waits for it) or the flag already set
+	// (and the request is refused). No request is ever both refused
+	// and waited for, or neither.
+	mu       sync.RWMutex
+	draining bool
+	inflight sync.WaitGroup
+
+	reqSeq  atomic.Uint64 // admission sequence, keys the chaos draws
+	started time.Time
+}
+
+// New builds the service: one shared instance cache and benchmark set
+// for its lifetime, and — when configured — the shared crash-safe
+// journal. A held journal lock (another dpmd or dpmexp writing the
+// same path) surfaces as the journal's typed *LockError.
+func New(cfg Config) (*Server, error) {
+	cfg.Complete()
+	s := &Server{
+		cfg:        cfg,
+		coll:       cfg.Obs,
+		event:      cfg.Events,
+		idem:       newIdemCache(),
+		chaos:      cfg.Chaos,
+		benchmarks: workloads.All(),
+		cache:      core.NewCache(),
+		started:    time.Now(),
+	}
+	s.admit = newAdmitter(cfg.MaxInflight, cfg.MaxQueue, cfg.QueueWait, s.coll)
+	s.cache.Obs = s.coll
+	s.cache.Events = s.event
+	if cfg.JournalPath != "" {
+		var (
+			j   *journal.Journal
+			err error
+		)
+		if cfg.Resume {
+			j, err = journal.Open(cfg.JournalPath)
+		} else {
+			j, err = journal.Create(cfg.JournalPath)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if records, torn := j.Recovered(); records > 0 || torn > 0 {
+			slog.Info("journal recovered", "path", cfg.JournalPath, "records", records, "truncated_bytes", torn)
+		}
+		s.journal = j
+	}
+	return s, nil
+}
+
+// Handler returns the service's routes mounted next to the standard
+// introspection endpoints (/metrics, /status, /debug/pprof/).
+func (s *Server) Handler() http.Handler {
+	mux := cli.DebugMux(s.coll, s.status)
+	mux.HandleFunc("POST /v1/sim", s.handleSim)
+	mux.HandleFunc("POST /v1/experiment", s.handleExperiment)
+	mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
+	mux.HandleFunc("GET /v1/benchmarks", s.handleListBenchmarks)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ready\n"))
+	})
+	return mux
+}
+
+// status feeds the /status endpoint.
+func (s *Server) status() any {
+	inflight, queued := s.coll.ServeGauges()
+	accepted, shed, deadline, canceled, drains := s.coll.ServeStats()
+	st := map[string]any{
+		"tool":        "dpmd",
+		"uptime_s":    time.Since(s.started).Seconds(),
+		"draining":    s.Draining(),
+		"inflight":    inflight,
+		"queued":      queued,
+		"accepted":    accepted,
+		"shed":        shed,
+		"deadline":    deadline,
+		"canceled":    canceled,
+		"drains":      drains,
+		"cache_len":   s.cache.Len(),
+		"chaos_armed": s.chaos != nil,
+	}
+	if s.journal != nil {
+		st["journal_cells"] = s.journal.Len()
+	}
+	return st
+}
+
+// Draining reports whether graceful shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.draining
+}
+
+// BeginDrain flips the server into draining: /readyz turns 503 and
+// every new request is refused with a typed unavailable error.
+// In-flight requests keep running; Drain waits for them.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if already {
+		return
+	}
+	s.coll.CountServeDrain()
+	s.event.Emit(events.Event{Kind: events.KindServe, Disk: -1, Detail: "drain_begin"})
+	slog.Info("drain started", "drain_timeout", s.cfg.DrainTimeout)
+}
+
+// Drain completes graceful shutdown: it waits (bounded by ctx) for
+// every in-flight request to finish, then finalizes the shared
+// journal — compacted and atomically renamed, so the file on disk is
+// complete and deduplicated. A ctx expiry is reported after the
+// journal is still safely closed with every fsynced record intact.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var waitErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		waitErr = fmt.Errorf("serve: drain deadline expired with requests still in flight: %w", ctx.Err())
+	}
+	if s.journal != nil {
+		if waitErr == nil {
+			if err := s.journal.Finalize(); err != nil {
+				waitErr = fmt.Errorf("serve: journal finalize: %w", err)
+			}
+		} else if err := s.journal.Close(); err != nil {
+			slog.Warn("journal close failed", "err", err)
+		}
+	}
+	s.event.Emit(events.Event{Kind: events.KindServe, Disk: -1, Detail: "drain_done"})
+	slog.Info("drain finished", "err", waitErr)
+	return waitErr
+}
+
+// deadlineFor resolves the request's deadline: ?timeout= capped by
+// MaxTimeout, DefaultTimeout otherwise.
+func (s *Server) deadlineFor(r *http.Request) (time.Duration, *Error) {
+	raw := r.URL.Query().Get("timeout")
+	if raw == "" {
+		return s.cfg.DefaultTimeout, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		return 0, validationf("bad timeout %q: %v", raw, err)
+	}
+	if d <= 0 {
+		return 0, validationf("timeout must be positive, got %q", raw)
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d, nil
+}
+
+// execute runs one request through the full hardened path: drain
+// gate, deadline, idempotency, admission, chaos, panic-isolated work,
+// and taxonomy-mapped response. work computes the success body; it
+// must honor ctx.
+func (s *Server) execute(w http.ResponseWriter, r *http.Request, route string, body []byte, work func(ctx context.Context) ([]byte, string, *Error)) {
+	start := time.Now()
+	// Drain gate + in-flight registration, atomically vs BeginDrain.
+	s.mu.RLock()
+	if s.draining {
+		s.mu.RUnlock()
+		writeError(w, &Error{Kind: KindUnavailable, Msg: "service is draining", RetryAfter: s.cfg.DrainTimeout})
+		return
+	}
+	s.inflight.Add(1)
+	s.mu.RUnlock()
+	defer s.inflight.Done()
+
+	timeout, verr := s.deadlineFor(r)
+	if verr != nil {
+		writeError(w, verr)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Idempotency: duplicates of a finished request replay its bytes;
+	// duplicates of an in-flight one wait for the leader.
+	var (
+		key   = r.Header.Get("Idempotency-Key")
+		entry *idemEntry
+	)
+	if key != "" {
+		fp := fingerprint(route, body)
+		e, leader, ierr := s.idem.begin(ctx, key, fp)
+		if ierr != nil {
+			s.finishObs(ierr, start)
+			writeError(w, ierr)
+			return
+		}
+		if !leader {
+			w.Header().Set("Content-Type", e.contentType)
+			w.Header().Set("Idempotency-Replayed", "true")
+			w.Write(e.body)
+			s.finishObs(nil, start)
+			return
+		}
+		entry = e
+	}
+
+	respBody, contentType, xerr := s.admitAndRun(ctx, work)
+	if xerr != nil {
+		if entry != nil {
+			s.idem.abandon(key, entry)
+		}
+		s.finishObs(xerr, start)
+		writeError(w, xerr)
+		return
+	}
+	if entry != nil {
+		s.idem.complete(key, entry, respBody, contentType)
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.Write(respBody)
+	s.finishObs(nil, start)
+}
+
+// admitAndRun claims an execution slot and runs work inside a
+// one-cell worker pool, so a panic — the work's own or a chaos
+// injection — is recovered at the cell boundary and mapped to a typed
+// internal error instead of killing the process.
+func (s *Server) admitAndRun(ctx context.Context, work func(ctx context.Context) ([]byte, string, *Error)) ([]byte, string, *Error) {
+	release, waitMS, aerr := s.admit.acquire(ctx)
+	if aerr != nil {
+		return nil, "", aerr
+	}
+	defer release()
+	s.coll.ServeAdmitted(waitMS)
+	s.coll.ServeInflight(1)
+	defer s.coll.ServeInflight(-1)
+
+	seq := s.reqSeq.Add(1) - 1
+	started := time.Now()
+	var (
+		respBody    []byte
+		contentType string
+		werr        *Error
+	)
+	err := runner.New(1).Observe(s.coll).Trace(s.event).Run(func() error {
+		if serr := s.chaos.maybeStall(ctx, seq); serr != nil {
+			werr = serr
+			return nil
+		}
+		if s.chaos.shouldPanic(seq) {
+			panic(fmt.Sprintf("chaos: synthetic panic (request %d)", seq))
+		}
+		respBody, contentType, werr = work(ctx)
+		return nil
+	})
+	if err != nil {
+		var ce *runner.CellError
+		if errors.As(err, &ce) {
+			s.event.Emit(events.Event{Kind: events.KindServe, Disk: -1, Detail: fmt.Sprintf("panic: %v", ce.Value)})
+			slog.Error("request panicked; isolated", "panic", ce.Value)
+			return nil, "", &Error{Kind: KindInternal, Msg: fmt.Sprintf("request work panicked: %v", ce.Value)}
+		}
+		return nil, "", &Error{Kind: KindInternal, Msg: err.Error()}
+	}
+	if werr != nil {
+		// Attach partial-progress metadata to deadline failures: how
+		// long the work ran and how many cells the shared journal has
+		// already made durable (those survive for a resume).
+		if werr.Kind == KindDeadline && werr.Meta == nil {
+			meta := map[string]any{"elapsed_ms": time.Since(started).Milliseconds()}
+			if s.journal != nil {
+				meta["journal_cells"] = s.journal.Len()
+			}
+			werr.Meta = meta
+		}
+		return nil, "", werr
+	}
+	return respBody, contentType, nil
+}
+
+// finishObs records the request's terminal counters and latency.
+func (s *Server) finishObs(e *Error, start time.Time) {
+	if e != nil {
+		switch e.Kind {
+		case KindDeadline:
+			s.coll.CountServeDeadline()
+			s.event.Emit(events.Event{Kind: events.KindServe, Disk: -1, Detail: "deadline"})
+		case KindCanceled:
+			s.coll.CountServeCanceled()
+		case KindOverload:
+			s.event.Emit(events.Event{Kind: events.KindServe, Disk: -1, Detail: "shed"})
+		}
+	}
+	s.coll.ServeFinished(float64(time.Since(start)) / float64(time.Millisecond))
+}
+
+// simRequest is the POST /v1/sim body.
+type simRequest struct {
+	Bench     string `json:"bench"`
+	Scheme    string `json:"scheme"`
+	Faults    string `json:"faults,omitempty"`
+	FaultSeed int64  `json:"fault_seed,omitempty"`
+	Audit     bool   `json:"audit,omitempty"`
+}
+
+// simResponse is the POST /v1/sim success body.
+type simResponse struct {
+	Bench    string  `json:"bench"`
+	Scheme   string  `json:"scheme"`
+	EnergyJ  float64 `json:"energy_j"`
+	ExecMS   float64 `json:"exec_ms"`
+	WaitMS   float64 `json:"wait_ms"`
+	Requests int     `json:"requests"`
+	PowerOps int     `json:"power_ops"`
+}
+
+// handleSim runs one (benchmark, scheme) simulation under the shared
+// instance cache and returns its headline numbers.
+func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	body, req, verr := decodeBody[simRequest](r)
+	if verr != nil {
+		writeError(w, verr)
+		return
+	}
+	b, verr := s.benchByName(req.Bench)
+	if verr != nil {
+		writeError(w, verr)
+		return
+	}
+	scheme, verr := schemeByName(req.Scheme)
+	if verr != nil {
+		writeError(w, verr)
+		return
+	}
+	cfg := core.DefaultConfig()
+	cfg.Model = b.Model()
+	cfg.CacheUnits = b.CacheUnits
+	cfg.Audit = req.Audit
+	if req.Faults != "" {
+		fc, err := faults.ParseSpec(req.Faults)
+		if err != nil {
+			writeError(w, validationf("%v", err))
+			return
+		}
+		cfg.Faults = fc
+		cfg.FaultSeed = req.FaultSeed
+	}
+	s.execute(w, r, "/v1/sim", body, func(ctx context.Context) ([]byte, string, *Error) {
+		if ctx.Err() != nil {
+			return nil, "", ctxError(ctx, nil)
+		}
+		in, err := s.cache.Prepare(b.Name, b.Program, cfg, nil)
+		if err != nil {
+			return nil, "", &Error{Kind: KindInternal, Msg: err.Error()}
+		}
+		res, err := in.Run(scheme)
+		if err != nil {
+			return nil, "", &Error{Kind: KindInternal, Msg: err.Error()}
+		}
+		out, err := json.Marshal(simResponse{
+			Bench:    b.Name,
+			Scheme:   string(scheme),
+			EnergyJ:  res.EnergyJ,
+			ExecMS:   res.ExecMS,
+			WaitMS:   res.TotalWaitMS,
+			Requests: res.Requests,
+			PowerOps: res.PowerOps,
+		})
+		if err != nil {
+			return nil, "", &Error{Kind: KindInternal, Msg: err.Error()}
+		}
+		return append(out, '\n'), "application/json", nil
+	})
+}
+
+// expRequest is the POST /v1/experiment body.
+type expRequest struct {
+	ID        string `json:"id"`
+	Format    string `json:"format,omitempty"` // text (default) or csv
+	Faults    string `json:"faults,omitempty"`
+	FaultSeed int64  `json:"fault_seed,omitempty"`
+	Audit     bool   `json:"audit,omitempty"`
+}
+
+// handleExperiment renders one experiment exactly as dpmexp would —
+// same suite, same cell keys, same shared-journal semantics — and
+// returns the rendered table verbatim, so the response bytes are
+// identical to an offline dpmexp run of the same experiment.
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	body, req, verr := decodeBody[expRequest](r)
+	if verr != nil {
+		writeError(w, verr)
+		return
+	}
+	if !slices.Contains(experiments.IDs(), req.ID) {
+		writeError(w, validationf("unknown experiment %q (have %v)", req.ID, experiments.IDs()))
+		return
+	}
+	format := req.Format
+	if format == "" {
+		format = "text"
+	}
+	if format != "text" && format != "csv" {
+		writeError(w, validationf("unknown format %q (text or csv)", format))
+		return
+	}
+	var fc faults.Config
+	if req.Faults != "" {
+		parsed, err := faults.ParseSpec(req.Faults)
+		if err != nil {
+			writeError(w, validationf("%v", err))
+			return
+		}
+		fc = parsed
+	}
+	s.execute(w, r, "/v1/experiment", body, func(ctx context.Context) ([]byte, string, *Error) {
+		su := experiments.NewSuite()
+		su.Benchmarks = s.benchmarks // pointer-stable: shared cache keys on program identity
+		su.Cache = s.cache
+		su.Workers = s.cfg.Workers
+		su.Retries = s.cfg.Retries
+		su.Ctx = ctx
+		su.Obs = s.coll
+		su.Events = s.event
+		su.Journal = s.journal
+		su.Cfg.Audit = req.Audit
+		if req.Faults != "" {
+			su.Cfg.Faults = fc
+			su.Cfg.FaultSeed = req.FaultSeed
+		}
+		su.FaultSeed = req.FaultSeed
+		var buf bytes.Buffer
+		if err := experiments.Render(su, req.ID, &buf, format); err != nil {
+			if ctx.Err() != nil {
+				return nil, "", ctxError(ctx, nil)
+			}
+			return nil, "", &Error{Kind: KindInternal, Msg: err.Error()}
+		}
+		ct := "text/plain; charset=utf-8"
+		if format == "csv" {
+			ct = "text/csv; charset=utf-8"
+		}
+		return buf.Bytes(), ct, nil
+	})
+}
+
+// handleListExperiments returns the experiment ids.
+func (s *Server) handleListExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, experiments.IDs())
+}
+
+// handleListBenchmarks returns the benchmark names.
+func (s *Server) handleListBenchmarks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, workloads.Names())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// decodeBody reads and strictly decodes a JSON request body,
+// returning the raw bytes too (the idempotency fingerprint covers
+// them).
+func decodeBody[T any](r *http.Request) ([]byte, *T, *Error) {
+	const maxBody = 1 << 20 // a request is a small JSON document; anything bigger is abuse
+	raw, err := readAll(r, maxBody)
+	if err != nil {
+		return nil, nil, validationf("reading body: %v", err)
+	}
+	var req T
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, nil, validationf("bad JSON body: %v", err)
+	}
+	if dec.More() {
+		return nil, nil, validationf("trailing data after JSON body")
+	}
+	return raw, &req, nil
+}
+
+// readAll reads the body with a hard size cap.
+func readAll(r *http.Request, max int64) ([]byte, error) {
+	defer r.Body.Close()
+	lr := &limitedReader{r: r.Body, n: max}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(lr); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// limitedReader errors (rather than silently truncating) past n.
+type limitedReader struct {
+	r interface{ Read([]byte) (int, error) }
+	n int64
+}
+
+func (l *limitedReader) Read(p []byte) (int, error) {
+	if l.n <= 0 {
+		return 0, errors.New("body exceeds size limit")
+	}
+	if int64(len(p)) > l.n {
+		p = p[:l.n]
+	}
+	n, err := l.r.Read(p)
+	l.n -= int64(n)
+	return n, err
+}
+
+// benchByName resolves a benchmark against the server's stable set.
+func (s *Server) benchByName(name string) (*workloads.Benchmark, *Error) {
+	if name == "" {
+		return nil, validationf("bench is required (have %v)", workloads.Names())
+	}
+	for _, b := range s.benchmarks {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return nil, validationf("unknown benchmark %q (have %v)", name, workloads.Names())
+}
+
+// schemeByName resolves a scheme name case-insensitively; empty
+// selects Base.
+func schemeByName(name string) (core.Scheme, *Error) {
+	if name == "" {
+		return core.Base, nil
+	}
+	for _, sc := range core.AllSchemes() {
+		if strings.EqualFold(string(sc), name) {
+			return sc, nil
+		}
+	}
+	return "", validationf("unknown scheme %q (have %v)", name, core.AllSchemes())
+}
