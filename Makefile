@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short vet race fuzz-smoke bench bench-json bench-diff experiments golden golden-drift examples cover cover-all serve-smoke govulncheck clean
+.PHONY: all check build test test-short vet race fuzz-smoke crash-smoke bench bench-json bench-diff experiments golden golden-drift examples cover cover-all serve-smoke govulncheck clean
 
 all: check
 
@@ -28,11 +28,13 @@ vet:
 # simulator, the fault-injection plan shared across workers, the
 # journal appended to by concurrent experiment cells, the
 # observability layer (collector snapshots and the event ring, both
-# written by concurrent simulation runs), and the serving layer
-# (admission control, idempotency cache, and drain racing a burst of
-# concurrent requests).
+# written by concurrent simulation runs), the fault-injecting
+# filesystem (one op counter shared by concurrent handles), the
+# atomic-write helpers (concurrent writers to one destination), and
+# the serving layer (admission control, idempotency cache, and drain
+# racing a burst of concurrent requests).
 race:
-	$(GO) test -race ./internal/runner ./internal/core ./internal/sim ./internal/faults ./internal/journal ./internal/obs ./internal/obs/events ./internal/serve
+	$(GO) test -race ./internal/runner ./internal/core ./internal/sim ./internal/faults ./internal/fsx ./internal/cli ./internal/journal ./internal/obs ./internal/obs/events ./internal/serve
 
 # fuzz-smoke gives each fuzz target a short budget — enough to shake
 # out parser and numeric regressions on every CI run without turning
@@ -45,7 +47,16 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/faults
 	$(GO) test -run='^$$' -fuzz=FuzzBreakEven -fuzztime=$(FUZZTIME) ./internal/disk
 	$(GO) test -run='^$$' -fuzz=FuzzJournalDecode -fuzztime=$(FUZZTIME) ./internal/journal
+	$(GO) test -run='^$$' -fuzz=FuzzRecoverTail -fuzztime=$(FUZZTIME) ./internal/journal
 	$(GO) test -run='^$$' -fuzz=FuzzEventDecode -fuzztime=$(FUZZTIME) ./internal/obs/events
+
+# crash-smoke runs the crash-consistency suite: the fsx fault model
+# itself, the crash explorer over every power-loss point of a journal
+# kill-and-resume run and of an atomic file replace, and the serving
+# layer's degraded-mode acceptance tests (journal faults must not fail
+# requests). See docs/robustness.md "Crash consistency".
+crash-smoke:
+	$(GO) test -run 'TestCrash|TestFaulty|TestExplore|TestAppend|TestDegraded|TestDurable' -count=1 ./internal/fsx ./internal/journal ./internal/cli ./internal/serve
 
 # bench records the root experiment benchmarks (including the
 # Sequential/Parallel suite pair) and the simulator hot-path

@@ -26,15 +26,29 @@
 //	-journal FILE       shared crash-safe cell journal (same keys as
 //	                    dpmexp -journal; the files are interchangeable)
 //	-resume             reopen the -journal instead of truncating
+//	-journal-retries N  append retries (with backoff) before the
+//	                    daemon degrades to memory-only operation
+//	-journal-backoff D  initial sleep between append retries (doubles)
 //	-retries N          extra attempts for failing/panicking cells
 //	-chaos SPEC         deterministic self-fault injection for testing:
 //	                    "seed=1,stall=0.3,stall_ms=200,panic=0.05"
 //	                    stalls/panics that fraction of requests; panics
 //	                    are isolated per request (500), never fatal
 //
+// Degraded mode: dpmd survives persistence faults. If a journal
+// append keeps failing past its retry budget — or tears the file or
+// breaks an fsync, after which retrying cannot help — the daemon
+// degrades instead of failing requests: results keep being computed
+// and served from memory, /readyz reports "degraded: journal" (still
+// 200), /status carries the reason, and requests that set
+// "durable": true receive a typed 503 rather than a silently
+// non-durable success. Cells journaled before the fault stay durable
+// and are recovered by the next -resume. See docs/robustness.md.
+//
 // Observability: /metrics (Prometheus, including serve_* queue/shed/
-// deadline/drain series), /status (JSON snapshot), /debug/pprof/,
-// /healthz (liveness), /readyz (readiness; 503 while draining).
+// deadline/drain series and sdpm_serve_journal_errors_total),
+// /status (JSON snapshot), /debug/pprof/, /healthz (liveness),
+// /readyz (readiness; 503 while draining).
 package main
 
 import (
@@ -65,6 +79,8 @@ func main() {
 	retries := flag.Int("retries", 0, "extra attempts for a failing or panicking experiment cell")
 	journalPath := flag.String("journal", "", "record completed experiment cells to this crash-safe journal; finalized atomically on drain")
 	resume := flag.Bool("resume", false, "reopen the -journal file and serve cells it already holds (requires -journal)")
+	journalRetries := flag.Int("journal-retries", 0, "journal append retries before degrading to memory-only operation (0 = 2, negative = none)")
+	journalBackoff := flag.Duration("journal-backoff", 0, "initial sleep between journal append retries, doubling per attempt (0 = 10ms)")
 	chaosSpec := flag.String("chaos", "", "deterministic self-fault injection spec: seed=N,stall=P,stall_ms=MS,panic=P (empty or 'off' disables)")
 	verbose, quiet := cli.LogFlags(flag.CommandLine)
 	flag.Parse()
@@ -81,17 +97,19 @@ func main() {
 		slog.Warn("chaos mode armed: injecting deterministic stalls/panics", "spec", *chaosSpec)
 	}
 	srv, err := serve.New(serve.Config{
-		MaxInflight:    *inflight,
-		MaxQueue:       *queue,
-		QueueWait:      *queueWait,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		DrainTimeout:   *drainTimeout,
-		Workers:        *workers,
-		Retries:        *retries,
-		JournalPath:    *journalPath,
-		Resume:         *resume,
-		Chaos:          chaos,
+		MaxInflight:         *inflight,
+		MaxQueue:            *queue,
+		QueueWait:           *queueWait,
+		DefaultTimeout:      *timeout,
+		MaxTimeout:          *maxTimeout,
+		DrainTimeout:        *drainTimeout,
+		Workers:             *workers,
+		Retries:             *retries,
+		JournalPath:         *journalPath,
+		Resume:              *resume,
+		JournalRetries:      *journalRetries,
+		JournalRetryBackoff: *journalBackoff,
+		Chaos:               chaos,
 	})
 	if err != nil {
 		cli.Fatal(err)

@@ -33,7 +33,10 @@
 //	                    CRC-protected per record)
 //	-resume             reopen the -journal file and skip cells that
 //	                    already hold a valid record; output is
-//	                    byte-identical to an uninterrupted run
+//	                    byte-identical to an uninterrupted run. A run
+//	                    that dies on a journal I/O error (disk full,
+//	                    torn write) keeps every fsynced cell: -resume
+//	                    recovers them, recomputing only the rest
 //	-audit              verify conservation invariants (energy and
 //	                    time bookkeeping, disk state-machine legality)
 //	                    after every simulation; fail loudly on drift

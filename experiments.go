@@ -2,6 +2,7 @@ package sdpm
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -144,11 +145,11 @@ func RunExperiments(id string, out io.Writer, opts Options) error {
 	if opts.Events != nil {
 		s.Events = events.NewLog(opts.EventCapacity)
 	}
+	// j stays concrete: the suite only needs the CellJournal surface,
+	// but finalizing/closing below needs the full journal handle.
+	var j *journal.Journal
 	if opts.Journal != "" {
-		var (
-			j    *journal.Journal
-			jerr error
-		)
+		var jerr error
 		if opts.Resume {
 			j, jerr = journal.Open(opts.Journal)
 		} else {
@@ -177,12 +178,16 @@ func RunExperiments(id string, out io.Writer, opts Options) error {
 	// Finalize (compact + atomic rename) the journal only on full
 	// success; on failure or cancellation just close it, keeping every
 	// fsynced record for a -resume run.
-	if s.Journal != nil {
+	if j != nil {
 		if err == nil {
-			err = s.Journal.Finalize()
-		} else if cerr := s.Journal.Close(); cerr != nil {
+			err = j.Finalize()
+		} else if cerr := j.Close(); cerr != nil {
 			slog.Warn("journal close failed", "path", opts.Journal, "err", cerr)
 		}
+	}
+	var ioe *journal.IOError
+	if errors.As(err, &ioe) {
+		err = fmt.Errorf("%w (every fsynced cell is preserved; re-run with -resume to recover them)", err)
 	}
 	return err
 }

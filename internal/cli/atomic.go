@@ -2,45 +2,89 @@ package cli
 
 import (
 	"io"
-	"os"
 	"path/filepath"
+	"strings"
+
+	"sdpm/internal/fsx"
 )
 
 // WriteFileAtomic writes a file through a temporary sibling: the
-// writer runs against "<path>.tmp", which is fsynced, closed, and
-// renamed over the destination only if every step succeeded. A crash
-// or write error never leaves a half-written file at path — at worst
-// a stale .tmp, which the next successful write replaces. After the
-// rename the containing directory is fsynced too, so the new
-// directory entry itself survives a crash — without it the rename can
-// still be sitting in the page cache when the machine dies, and the
+// writer runs against a uniquely named "<path>.tmp.*" file, which is
+// fsynced, closed, and renamed over the destination only if every
+// step succeeded. A crash or write error never leaves a half-written
+// file at path — at worst a stale tmp, which CleanStaleTmps (or the
+// next successful write of the same name) disposes of. The tmp name
+// is unique per call (os.CreateTemp-style), so two concurrent writers
+// of the same destination — e.g. two dpmd instances pointed at
+// different journals but the same -metrics-out — cannot clobber each
+// other's tmp file: both renames are atomic and the destination is
+// always exactly one writer's complete bytes. After the rename the
+// containing directory is fsynced too, so the new directory entry
+// itself survives a crash — without it the rename can still be
+// sitting in the page cache when the machine dies, and the
 // journal/metrics/events file quietly reverts to its old bytes (or
 // vanishes).
 func WriteFileAtomic(path string, write func(io.Writer) error) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	return WriteFileAtomicFS(fsx.OS, path, write)
+}
+
+// WriteFileAtomicFS is WriteFileAtomic over an explicit filesystem —
+// fsx.OS in production, a fault-injecting fsx.Faulty under test. The
+// crash explorer (fsx.Explore) proves the old-bytes-or-new-bytes
+// invariant at every operation a power loss could interrupt.
+func WriteFileAtomicFS(fs fsx.FS, path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := fs.CreateTemp(dir, filepath.Base(path)+tmpInfix+"*")
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
 	if err := write(f); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
 		return err
 	}
-	return SyncDir(filepath.Dir(path))
+	return fs.SyncDir(dir)
+}
+
+// tmpInfix marks WriteFileAtomic's temporary siblings; the unique
+// suffix follows it. CleanStaleTmps keys on the same marker.
+const tmpInfix = ".tmp."
+
+// CleanStaleTmps removes temporary siblings a crashed or killed
+// writer left next to path: every "<base>.tmp.*" in path's directory,
+// plus the legacy fixed "<base>.tmp" name. It returns how many were
+// removed. Call it only when no live writer can be mid-write to path
+// — a swept tmp makes that writer's rename fail.
+func CleanStaleTmps(fs fsx.FS, path string) (int, error) {
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, name := range names {
+		if strings.HasPrefix(name, base+tmpInfix) || name == base+".tmp" {
+			if err := fs.Remove(filepath.Join(dir, name)); err != nil {
+				return removed, err
+			}
+			removed++
+		}
+	}
+	return removed, nil
 }
 
 // SyncDir fsyncs a directory so a rename within it is durable. On
@@ -48,11 +92,4 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 // syncing the open failure is ignored (there is nothing actionable),
 // but a real fsync failure on an opened directory is reported: it
 // means the rename's durability is genuinely unknown.
-func SyncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return nil
-	}
-	defer d.Close()
-	return d.Sync()
-}
+func SyncDir(dir string) error { return fsx.OS.SyncDir(dir) }

@@ -31,6 +31,19 @@ import (
 	"sdpm/internal/workloads"
 )
 
+// CellJournal is the durability surface the suite needs from a result
+// journal: lookup of a completed cell and a durable (fsynced-before-
+// return) append. *journal.Journal satisfies it directly; a serving
+// layer can wrap one to add retries or degraded-mode fallback without
+// the suite knowing.
+type CellJournal interface {
+	Lookup(key string) ([]float64, bool)
+	Append(key string, vals []float64) error
+}
+
+// *journal.Journal is the canonical CellJournal.
+var _ CellJournal = (*journal.Journal)(nil)
+
 // CacheUnitsAuto is the suite's "unset" sentinel for
 // Config.CacheUnits: each benchmark then uses its own calibrated
 // buffer-cache capacity. Any positive value applies uniformly to all
@@ -75,8 +88,10 @@ type Suite struct {
 	// fingerprint (including fault spec and seed), so a journal can
 	// never leak results across configurations. Journaled values
 	// round-trip float64s bit-exactly, keeping resumed output
-	// byte-identical to a cold run at any worker count.
-	Journal *journal.Journal
+	// byte-identical to a cold run at any worker count. Assign a
+	// *journal.Journal directly, or any CellJournal wrapper; leave nil
+	// (not a typed nil inside the interface) to disable journaling.
+	Journal CellJournal
 	// Retries re-runs a failing or panicking cell up to this many
 	// extra times before the experiment reports its error (see
 	// runner.Pool.WithRetry). Simulation cells are deterministic, so

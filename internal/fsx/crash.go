@@ -1,0 +1,75 @@
+package fsx
+
+import "fmt"
+
+// CrashPoint is one explored crash: the scenario was killed by a
+// simulated power loss at operation index Op, leaving Durable as the
+// only bytes on disk. Err is what the scenario returned (it wraps
+// ErrCrashed for every point except the final, crash-free one).
+type CrashPoint struct {
+	// Op is the operation index the power loss hit; it equals the
+	// scenario's total operation count for the final crash-free point.
+	Op int
+	// Durable maps file path to the exact bytes a real power loss at
+	// this point could leave on disk under the pessimistic model
+	// (fsync barriers honored, renames durable only after dir-sync).
+	Durable map[string][]byte
+	// Err is the scenario's return at this point: non-nil (wrapping
+	// ErrCrashed) at every true crash point, nil for the final
+	// crash-free run.
+	Err error
+}
+
+// Explore enumerates every crash point of a filesystem scenario. It
+// first runs scenario crash-free against a fresh Faulty filesystem to
+// learn the operation count N, then replays it N more times with a
+// simulated power loss at each operation index 0..N-1, invoking check
+// with the durable state a real crash there could leave behind. A
+// final crash-free point (Op == N, Err == nil) is checked last, so
+// recovery is also proven against the fully successful run.
+//
+// setup (optional) seeds pre-existing files on each fresh filesystem
+// before the scenario runs; scenario must be deterministic and
+// single-goroutine, and must propagate filesystem errors — a crashed
+// operation's error is how the "kill" reaches it. check typically
+// restores the durable bytes into a real directory, runs recovery,
+// and asserts the crash-consistency invariants; its first error
+// aborts the exploration.
+func Explore(seed int64, setup func(*Faulty), scenario func(FS) error, check func(CrashPoint) error) error {
+	run := func(crashAt int) (*Faulty, error) {
+		fa := NewFaulty(seed)
+		if setup != nil {
+			setup(fa)
+		}
+		if crashAt >= 0 {
+			fa.CrashAt(crashAt)
+		}
+		return fa, scenario(fa)
+	}
+
+	fa, err := run(-1)
+	if err != nil {
+		return fmt.Errorf("fsx: crash-free scenario run failed: %w", err)
+	}
+	n := fa.OpCount()
+	for k := 0; k < n; k++ {
+		crashed, serr := run(k)
+		if serr == nil {
+			return fmt.Errorf("fsx: scenario survived a crash at op %d/%d without reporting an error", k, n)
+		}
+		if !crashed.Crashed() {
+			return fmt.Errorf("fsx: scenario is nondeterministic: crash point %d/%d was never reached", k, n)
+		}
+		if err := check(CrashPoint{Op: k, Durable: crashed.DurableFiles(), Err: serr}); err != nil {
+			return fmt.Errorf("fsx: crash at op %d/%d: %w", k, n, err)
+		}
+	}
+	final, err := run(-1)
+	if err != nil {
+		return fmt.Errorf("fsx: final crash-free scenario run failed: %w", err)
+	}
+	if got := final.OpCount(); got != n {
+		return fmt.Errorf("fsx: scenario is nondeterministic: %d ops, then %d", n, got)
+	}
+	return check(CrashPoint{Op: n, Durable: final.DurableFiles(), Err: nil})
+}

@@ -1,0 +1,321 @@
+package fsx
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+)
+
+// The OS passthrough round-trips bytes, generates unique temp names,
+// lists directories, and enforces the advisory lock across two
+// handles of the same file.
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.txt")
+	f, err := OS.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Lock(f); err != nil {
+		t.Fatalf("first lock: %v", err)
+	}
+	second, err := OS.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Lock(second); !errors.Is(err, ErrLockHeld) {
+		t.Fatalf("second lock = %v, want ErrLockHeld", err)
+	}
+	second.Close()
+	f.Close()
+
+	got, err := OS.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	t1, err := OS.CreateTemp(dir, "a.txt.tmp.*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := OS.CreateTemp(dir, "a.txt.tmp.*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Name() == t2.Name() {
+		t.Fatalf("CreateTemp names collide: %s", t1.Name())
+	}
+	t1.Close()
+	t2.Close()
+	names, err := OS.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 {
+		t.Fatalf("ReadDir = %v, want 3 entries", names)
+	}
+	if err := OS.Rename(path, filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Remove(filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Bytes written but never fsynced do not survive a crash; fsynced
+// bytes always do. The fsync barrier is the durability line.
+func TestFaultyFsyncBarrier(t *testing.T) {
+	fa := NewFaulty(1)
+	f, err := fa.OpenFile("data", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("synced"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte(" and not"))
+	d := fa.DurableFiles()
+	if string(d["data"]) != "synced" {
+		t.Fatalf("durable = %q, want only the fsynced prefix", d["data"])
+	}
+	v := fa.VolatileFiles()
+	if string(v["data"]) != "synced and not" {
+		t.Fatalf("volatile = %q, want the full write", v["data"])
+	}
+}
+
+// A rename is visible immediately but durable only after SyncDir —
+// the pessimistic model a crash-safe writer must assume.
+func TestFaultyRenameDurableOnlyAfterSyncDir(t *testing.T) {
+	fa := NewFaulty(1)
+	fa.SetFile("dest", []byte("old"))
+	f, _ := fa.OpenFile("dest.tmp.0", os.O_RDWR|os.O_CREATE, 0o644)
+	f.Write([]byte("new"))
+	f.Sync()
+	f.Close()
+	if err := fa.Rename("dest.tmp.0", "dest"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fa.ReadFile("dest"); string(got) != "new" {
+		t.Fatalf("volatile dest = %q, want new", got)
+	}
+	d := fa.DurableFiles()
+	if string(d["dest"]) != "old" {
+		t.Fatalf("durable dest before SyncDir = %q, want old", d["dest"])
+	}
+	if string(d["dest.tmp.0"]) != "new" {
+		t.Fatalf("durable tmp before SyncDir = %q, want new (it was fsynced)", d["dest.tmp.0"])
+	}
+	if err := fa.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	d = fa.DurableFiles()
+	if string(d["dest"]) != "new" {
+		t.Fatalf("durable dest after SyncDir = %q, want new", d["dest"])
+	}
+	if _, left := d["dest.tmp.0"]; left {
+		t.Fatal("tmp entry still durable after SyncDir")
+	}
+}
+
+// CrashAt kills the filesystem deterministically: the same crash
+// point always yields the same durable state, and every operation at
+// or after it fails with ErrCrashed.
+func TestFaultyCrashDeterministic(t *testing.T) {
+	scenario := func(fa *Faulty) error {
+		f, err := fa.OpenFile("j", os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return err
+		}
+		for _, s := range []string{"one\n", "two\n", "three\n"} {
+			if _, err := f.Write([]byte(s)); err != nil {
+				return err
+			}
+			if err := f.Sync(); err != nil {
+				return err
+			}
+		}
+		return f.Close()
+	}
+	// Crash at op 4: open(0), write(1), sync(2), write(3), CRASH on
+	// sync(4) — the second record was written but never synced.
+	run := func() map[string][]byte {
+		fa := NewFaulty(7).CrashAt(4)
+		if err := scenario(fa); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("scenario error = %v, want ErrCrashed", err)
+		}
+		if !fa.Crashed() {
+			t.Fatal("filesystem did not record the crash")
+		}
+		return fa.DurableFiles()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("crash not deterministic: %v vs %v", a, b)
+	}
+	if string(a["j"]) != "one\n" {
+		t.Fatalf("durable after crash = %q, want only the first synced record", a["j"])
+	}
+}
+
+// FailAt injects a clean one-shot failure; ShortWriteAt writes half
+// the payload before failing — the torn-record generator.
+func TestFaultyInjectedErrors(t *testing.T) {
+	fa := NewFaulty(1).FailAt(1, syscall.ENOSPC).ShortWriteAt(2, syscall.EIO)
+	f, err := fa.OpenFile("x", os.O_RDWR|os.O_CREATE, 0o644) // op 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef")) // op 1: clean ENOSPC
+	if n != 0 || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("clean failure: n=%d err=%v, want 0, ENOSPC", n, err)
+	}
+	n, err = f.Write([]byte("abcdef")) // op 2: short write + EIO
+	if n != 3 || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("short write: n=%d err=%v, want 3, EIO", n, err)
+	}
+	if got, _ := fa.ReadFile("x"); string(got) != "abc" {
+		t.Fatalf("file holds %q after short write, want the torn half", got)
+	}
+	if _, err := f.Write([]byte("!")); err != nil { // op 3: healthy again
+		t.Fatalf("post-fault write: %v", err)
+	}
+}
+
+// FailSyncs draws per-operation from the seeded stream: the same seed
+// reproduces the same failure pattern; different seeds differ.
+func TestFaultySeededSyncFailures(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		fa := NewFaulty(seed).FailSyncs(0.5, syscall.EIO)
+		f, _ := fa.OpenFile("x", os.O_RDWR|os.O_CREATE, 0o644)
+		var out []bool
+		for i := 0; i < 32; i++ {
+			f.Write([]byte("r"))
+			out = append(out, f.Sync() != nil)
+		}
+		return out
+	}
+	if !reflect.DeepEqual(pattern(42), pattern(42)) {
+		t.Fatal("same seed produced different sync-failure patterns")
+	}
+	if reflect.DeepEqual(pattern(42), pattern(43)) {
+		t.Fatal("different seeds produced identical patterns (suspicious)")
+	}
+	fails := 0
+	for _, f := range pattern(42) {
+		if f {
+			fails++
+		}
+	}
+	if fails == 0 || fails == 32 {
+		t.Fatalf("0.5 failure rate produced %d/32 failures", fails)
+	}
+}
+
+// The faulty file supports the full handle surface the journal needs:
+// seek to end, truncate a torn tail, read back, and the advisory lock
+// excludes a second handle until close.
+func TestFaultyHandleSurfaceAndLock(t *testing.T) {
+	fa := NewFaulty(1)
+	f, err := fa.OpenFile("j", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.Lock(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("good line\ntorn"))
+	end, err := f.Seek(0, io.SeekEnd)
+	if err != nil || end != 14 {
+		t.Fatalf("Seek(end) = %d, %v", end, err)
+	}
+	if err := f.Truncate(10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(f)
+	if err != nil || string(got) != "good line\n" {
+		t.Fatalf("read after truncate = %q, %v", got, err)
+	}
+
+	g, err := fa.OpenFile("j", os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.Lock(g); !errors.Is(err, ErrLockHeld) {
+		t.Fatalf("second lock = %v, want ErrLockHeld", err)
+	}
+	f.Close()
+	if err := fa.Lock(g); err != nil {
+		t.Fatalf("lock after holder closed: %v", err)
+	}
+	g.Close()
+}
+
+// Explore enumerates exactly one point per operation plus the final
+// crash-free run, and the acknowledged-write invariant holds at every
+// point of a simple append-fsync loop.
+func TestExploreEnumeratesEveryCrashPoint(t *testing.T) {
+	var acked []string
+	records := []string{"alpha\n", "beta\n", "gamma\n"}
+	scenario := func(fs FS) error {
+		acked = nil
+		f, err := fs.OpenFile("log", os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return err
+		}
+		for _, r := range records {
+			if _, err := f.Write([]byte(r)); err != nil {
+				return err
+			}
+			if err := f.Sync(); err != nil {
+				return err
+			}
+			acked = append(acked, r)
+		}
+		return f.Close()
+	}
+	var points []int
+	err := Explore(1, nil, scenario, func(p CrashPoint) error {
+		points = append(points, p.Op)
+		durable := p.Durable["log"]
+		prefix := bytes.Join(func() [][]byte {
+			var bs [][]byte
+			for _, a := range acked {
+				bs = append(bs, []byte(a))
+			}
+			return bs
+		}(), nil)
+		if !bytes.HasPrefix(durable, prefix) {
+			return errors.New("an acknowledged (fsynced) record is missing from the durable bytes")
+		}
+		if p.Err == nil && p.Op != 7 {
+			return errors.New("non-final point without a crash error")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// open + 3*(write+sync) = 7 ops -> points 0..6 plus the final run.
+	want := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	if !reflect.DeepEqual(points, want) {
+		t.Fatalf("explored points %v, want %v", points, want)
+	}
+}

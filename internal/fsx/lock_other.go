@@ -1,0 +1,9 @@
+//go:build !unix
+
+package fsx
+
+import "os"
+
+// lockFile is a no-op where flock is unavailable; callers then rely
+// on not double-opening, exactly as before the guard existed.
+func lockFile(f *os.File) error { return nil }

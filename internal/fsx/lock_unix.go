@@ -1,0 +1,20 @@
+//go:build unix
+
+package fsx
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive, non-blocking flock on f. A lock held
+// elsewhere surfaces as ErrLockHeld so callers can produce their own
+// typed errors.
+func lockFile(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if errors.Is(err, syscall.EWOULDBLOCK) {
+		return ErrLockHeld
+	}
+	return err
+}

@@ -1,0 +1,63 @@
+package fsx
+
+import (
+	"fmt"
+	"os"
+)
+
+// OS is the passthrough filesystem: every method delegates straight
+// to package os, so code threaded through fsx behaves byte-identically
+// to code calling os directly.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		// Nothing actionable: the platform or filesystem cannot open
+		// directories for syncing.
+		return nil
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Lock takes the platform's exclusive advisory lock (flock on unix).
+// The lock belongs to the open file description, so it excludes a
+// second opener in the same process just as it excludes another
+// process, and the kernel releases it automatically when the
+// descriptor closes — a crashed holder never leaves a stale lock.
+func (osFS) Lock(f File) error {
+	of, ok := f.(*os.File)
+	if !ok {
+		return fmt.Errorf("fsx: Lock needs an OS file, got %T", f)
+	}
+	return lockFile(of)
+}

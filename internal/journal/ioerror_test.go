@@ -1,0 +1,144 @@
+package journal
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"sdpm/internal/fsx"
+)
+
+var (
+	errNoSpace = errors.New("no space left on device")
+	errIO      = errors.New("input/output error")
+)
+
+// A clean write failure (zero bytes landed) surfaces as a typed
+// *IOError but leaves the journal usable: the file still ends at a
+// record boundary, so a retry of the same Append succeeds.
+func TestAppendCleanWriteFailureIsRetryable(t *testing.T) {
+	fa := fsx.NewFaulty(1)
+	j, err := CreateFS(fa, "j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("a", []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	fa.FailAt(fa.OpCount(), errNoSpace) // next op is b's write
+	err = j.Append("b", []float64{2})
+	var ioe *IOError
+	if !errors.As(err, &ioe) {
+		t.Fatalf("Append error = %v, want *IOError", err)
+	}
+	if ioe.Op != "write" || !errors.Is(ioe, errNoSpace) {
+		t.Fatalf("IOError = op %q err %v, want a write ENOSPC", ioe.Op, ioe.Err)
+	}
+	if j.Poisoned() != nil {
+		t.Fatal("clean zero-byte write failure poisoned the journal")
+	}
+	if err := j.Append("b", []float64{2}); err != nil {
+		t.Fatalf("retry after clean failure: %v", err)
+	}
+	if _, ok := j.Lookup("b"); !ok {
+		t.Fatal("retried cell missing")
+	}
+}
+
+// A short write tears the record mid-line: the typed error carries
+// the torn offset, the journal is poisoned, and later Appends fail
+// fast with an error still unwrapping to the original *IOError.
+func TestAppendShortWritePoisons(t *testing.T) {
+	fa := fsx.NewFaulty(1)
+	j, err := CreateFS(fa, "j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("a", []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore := j.size
+	fa.ShortWriteAt(fa.OpCount(), errIO)
+	err = j.Append("b", []float64{2})
+	var ioe *IOError
+	if !errors.As(err, &ioe) {
+		t.Fatalf("Append error = %v, want *IOError", err)
+	}
+	if ioe.Op != "write" || ioe.Offset <= sizeBefore {
+		t.Fatalf("IOError op %q offset %d, want a write past offset %d (the torn bytes)", ioe.Op, ioe.Offset, sizeBefore)
+	}
+	if j.Poisoned() == nil {
+		t.Fatal("short write did not poison the journal")
+	}
+	err = j.Append("c", []float64{3})
+	var fast *IOError
+	if !errors.As(err, &fast) || fast != ioe {
+		t.Fatalf("poisoned Append = %v, want fail-fast wrapping the original IOError", err)
+	}
+	// The torn record never became visible: resume truncates it away
+	// and the journal is writable again.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenFS(fa, "j")
+	if err != nil {
+		t.Fatalf("resume after torn write: %v", err)
+	}
+	defer r.Close()
+	if _, torn := r.Recovered(); torn == 0 {
+		t.Fatal("resume did not truncate the torn tail")
+	}
+	if _, ok := r.Lookup("b"); ok {
+		t.Fatal("torn cell reported committed after resume")
+	}
+	if v, ok := r.Lookup("a"); !ok || !reflect.DeepEqual(v, []float64{1}) {
+		t.Fatalf("intact cell lost on resume: %v %v", v, ok)
+	}
+	if err := r.Append("b", []float64{2}); err != nil {
+		t.Fatalf("append after resume: %v", err)
+	}
+}
+
+// A failed fsync poisons unconditionally: the page cache is undefined
+// afterwards, so the journal refuses to write past the suspect bytes.
+func TestAppendSyncFailurePoisons(t *testing.T) {
+	fa := fsx.NewFaulty(1)
+	j, err := CreateFS(fa, "j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("a", []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	fa.FailAt(fa.OpCount()+1, errIO) // skip b's write, fail its sync
+	err = j.Append("b", []float64{2})
+	var ioe *IOError
+	if !errors.As(err, &ioe) {
+		t.Fatalf("Append error = %v, want *IOError", err)
+	}
+	if ioe.Op != "sync" {
+		t.Fatalf("IOError op = %q, want sync", ioe.Op)
+	}
+	if j.Poisoned() == nil {
+		t.Fatal("failed fsync did not poison the journal")
+	}
+	if _, ok := j.Lookup("b"); ok {
+		t.Fatal("unsynced cell reported committed in memory")
+	}
+	if err := j.Append("c", []float64{3}); err == nil {
+		t.Fatal("poisoned journal accepted another append")
+	}
+	// Finalize is still safe: it writes a fresh file from the
+	// in-memory records and replaces the journal atomically.
+	if err := j.Finalize(); err != nil {
+		t.Fatalf("Finalize on poisoned journal: %v", err)
+	}
+	r, err := OpenFS(fa, "j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.Keys(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("finalized poisoned journal holds %v, want [a]", got)
+	}
+}

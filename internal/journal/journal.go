@@ -19,6 +19,11 @@
 // (encoding/json emits the shortest representation that parses back
 // to the same float), which is what makes a resumed run byte-identical
 // to a cold one.
+//
+// All filesystem access goes through internal/fsx, so every failure
+// path — ENOSPC, EIO, short writes, failed fsyncs, and a crash at any
+// operation — is exercised deterministically by the crash explorer
+// (fsx.Explore); see docs/robustness.md ("Crash consistency").
 package journal
 
 import (
@@ -28,11 +33,14 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"sdpm/internal/fsx"
 )
 
 // castagnoli is the CRC32-C polynomial table; Castagnoli has better
@@ -68,10 +76,6 @@ func (e *CorruptError) Error() string {
 
 func (e *CorruptError) Unwrap() error { return e.Err }
 
-// errHeld is the platform lock primitive's "somebody else holds it"
-// result, wrapped into a *LockError with the path by Create/Open.
-var errHeld = errors.New("journal: write lock held")
-
 // LockError reports that the journal at Path is already open for
 // writing — by another process, or by another Journal value in this
 // one. Two concurrent writers would interleave appends and corrupt
@@ -87,6 +91,28 @@ type LockError struct {
 func (e *LockError) Error() string {
 	return fmt.Sprintf("journal: %s: already locked by another writer", e.Path)
 }
+
+// IOError reports a failed journal write or fsync: the record the
+// caller tried to append did not become durable. Offset is the byte
+// offset in the journal file where the failure happened; Op is
+// "write" or "sync". After a failure that may have left torn bytes in
+// the file (a partial write, or any fsync failure — the page cache is
+// undefined after a failed fsync), the journal is poisoned: later
+// Appends fail fast with an error wrapping the original IOError
+// instead of writing after a torn record. A clean write failure that
+// landed zero bytes leaves the journal usable, so callers may retry.
+type IOError struct {
+	Path   string
+	Op     string // "write" or "sync"
+	Offset int64  // byte offset in the journal where the failure hit
+	Err    error
+}
+
+func (e *IOError) Error() string {
+	return fmt.Sprintf("journal: %s: %s failed at offset %d: %v", e.Path, e.Op, e.Offset, e.Err)
+}
+
+func (e *IOError) Unwrap() error { return e.Err }
 
 // EncodeLine renders a record in the on-disk line format, including
 // the trailing newline. It fails if the values cannot round-trip
@@ -142,9 +168,13 @@ func DecodeLine(line []byte) (Record, error) {
 // concurrent use; Append serializes writers.
 type Journal struct {
 	mu   sync.Mutex
+	fs   fsx.FS
 	path string
-	f    *os.File
+	f    fsx.File
 	vals map[string][]float64
+
+	size     int64    // current end-of-file offset (all valid records)
+	poisoned *IOError // first torn-write/sync failure; Appends fail fast
 
 	recovered int // records kept from a pre-existing file
 	truncated int // bytes of torn tail discarded on open
@@ -153,33 +183,45 @@ type Journal struct {
 // Create opens a fresh journal at path, truncating any existing
 // file. It fails with a *LockError if another writer already holds
 // the journal open.
-func Create(path string) (*Journal, error) {
+func Create(path string) (*Journal, error) { return CreateFS(fsx.OS, path) }
+
+// CreateFS is Create over an explicit filesystem — fsx.OS in
+// production, a fault-injecting fsx.Faulty under test.
+func CreateFS(fs fsx.FS, path string) (*Journal, error) {
 	// Lock before truncating: opening with O_TRUNC would destroy a
 	// live writer's records before the lock check could refuse.
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	if err := acquire(f, path); err != nil {
+	if err := acquire(fs, f, path); err != nil {
 		f.Close()
 		return nil, err
 	}
+	removeStaleTmp(fs, path)
 	if err := f.Truncate(0); err != nil {
 		f.Close()
 		return nil, err
 	}
-	return &Journal{path: path, f: f, vals: make(map[string][]float64)}, nil
+	return &Journal{fs: fs, path: path, f: f, vals: make(map[string][]float64)}, nil
 }
 
-// acquire wraps the platform lock with the typed error.
-func acquire(f *os.File, path string) error {
-	if err := lockFile(f); err != nil {
-		if errors.Is(err, errHeld) {
+// acquire wraps the filesystem lock with the typed error.
+func acquire(fs fsx.FS, f fsx.File, path string) error {
+	if err := fs.Lock(f); err != nil {
+		if errors.Is(err, fsx.ErrLockHeld) {
 			return &LockError{Path: path}
 		}
 		return err
 	}
 	return nil
+}
+
+// removeStaleTmp deletes a finalize temp file a crashed writer may
+// have left next to the journal. Safe under the lock: no live writer
+// can be mid-finalize on this path while we hold it.
+func removeStaleTmp(fs fsx.FS, path string) {
+	fs.Remove(path + ".tmp")
 }
 
 // Open opens the journal at path for resumption, creating it if it
@@ -188,16 +230,20 @@ func acquire(f *os.File, path string) error {
 // records that are *not* the tail mean the file was corrupted some
 // other way, and Open fails with a *CorruptError. Like Create, Open
 // fails with a *LockError while another writer holds the journal.
-func Open(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+func Open(path string) (*Journal, error) { return OpenFS(fsx.OS, path) }
+
+// OpenFS is Open over an explicit filesystem.
+func OpenFS(fs fsx.FS, path string) (*Journal, error) {
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	if err := acquire(f, path); err != nil {
+	if err := acquire(fs, f, path); err != nil {
 		f.Close()
 		return nil, err
 	}
-	j := &Journal{path: path, f: f, vals: make(map[string][]float64)}
+	removeStaleTmp(fs, path)
+	j := &Journal{fs: fs, path: path, f: f, vals: make(map[string][]float64)}
 	if err := j.recover(); err != nil {
 		f.Close()
 		return nil, err
@@ -211,7 +257,7 @@ func Open(path string) (*Journal, error) {
 // even if its bytes happen to validate, because Append writes record
 // and newline together — a missing newline proves a partial write.
 func (j *Journal) recover() error {
-	data, err := os.ReadFile(j.path)
+	data, err := j.fs.ReadFile(j.path)
 	if err != nil {
 		return err
 	}
@@ -246,7 +292,7 @@ func (j *Journal) recover() error {
 		j.vals[rec.Key] = rec.Vals
 		validEnd = offset
 	}
-	size, err := j.f.Seek(0, 2)
+	size, err := j.f.Seek(0, io.SeekEnd)
 	if err != nil {
 		return err
 	}
@@ -256,18 +302,21 @@ func (j *Journal) recover() error {
 		if err := j.f.Truncate(validEnd); err != nil {
 			return err
 		}
-		if _, err := j.f.Seek(validEnd, 0); err != nil {
+		if _, err := j.f.Seek(validEnd, io.SeekStart); err != nil {
 			return err
 		}
 		j.truncated = int(size - validEnd)
 	}
+	j.size = validEnd
 	j.recovered = len(j.vals)
 	return nil
 }
 
 // Append journals one cell result durably: the record is written and
 // fsynced before Append returns, so a crash after Append never loses
-// the cell.
+// the cell. A failure surfaces as a typed *IOError carrying the op
+// (write vs sync) and byte offset; a failure that may have torn the
+// file poisons the journal — see IOError.
 func (j *Journal) Append(key string, vals []float64) error {
 	line, err := EncodeLine(Record{Key: key, Vals: vals})
 	if err != nil {
@@ -278,12 +327,27 @@ func (j *Journal) Append(key string, vals []float64) error {
 	if j.f == nil {
 		return errors.New("journal: closed")
 	}
-	if _, err := j.f.Write(line); err != nil {
-		return err
+	if j.poisoned != nil {
+		return fmt.Errorf("journal: poisoned by earlier failure, refusing to write after a possibly torn record: %w", j.poisoned)
+	}
+	n, err := j.f.Write(line)
+	if err != nil {
+		ioe := &IOError{Path: j.path, Op: "write", Offset: j.size + int64(n), Err: err}
+		if n > 0 {
+			// Bytes may be torn mid-record; writing more would bury the
+			// damage where recovery treats it as mid-file corruption.
+			j.poisoned = ioe
+		}
+		return ioe
 	}
 	if err := j.f.Sync(); err != nil {
-		return err
+		// After a failed fsync the page cache is undefined (the kernel
+		// may have dropped the dirty pages): poison unconditionally.
+		ioe := &IOError{Path: j.path, Op: "sync", Offset: j.size, Err: err}
+		j.poisoned = ioe
+		return ioe
 	}
+	j.size += int64(len(line))
 	j.vals[key] = append([]float64(nil), vals...)
 	return nil
 }
@@ -311,6 +375,13 @@ func (j *Journal) Recovered() (records, truncatedBytes int) {
 	return j.recovered, j.truncated
 }
 
+// Poisoned returns the failure that poisoned the journal, or nil.
+func (j *Journal) Poisoned() *IOError {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.poisoned
+}
+
 // Close releases the file without compacting.
 func (j *Journal) Close() error {
 	j.mu.Lock()
@@ -327,7 +398,10 @@ func (j *Journal) Close() error {
 // are rewritten (deduplicated, in sorted key order) to <path>.tmp,
 // fsynced, and atomically renamed over the journal, so the finalized
 // file is either the complete old journal or the complete new one —
-// never a mix. The journal is closed afterwards.
+// never a mix. The journal is closed afterwards. Finalize is safe
+// even on a poisoned journal: it writes a fresh file from the
+// in-memory records and only replaces the journal after a successful
+// fsync, so a failure here never damages the existing file.
 func (j *Journal) Finalize() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -340,7 +414,7 @@ func (j *Journal) Finalize() error {
 	}
 	sort.Strings(keys)
 	tmp := j.path + ".tmp"
-	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	tf, err := j.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
@@ -349,34 +423,39 @@ func (j *Journal) Finalize() error {
 		line, err := EncodeLine(Record{Key: k, Vals: j.vals[k]})
 		if err != nil {
 			tf.Close()
-			os.Remove(tmp)
+			j.fs.Remove(tmp)
 			return err
 		}
 		if _, err := w.Write(line); err != nil {
 			tf.Close()
-			os.Remove(tmp)
+			j.fs.Remove(tmp)
 			return err
 		}
 	}
 	if err := w.Flush(); err != nil {
 		tf.Close()
-		os.Remove(tmp)
+		j.fs.Remove(tmp)
 		return err
 	}
 	if err := tf.Sync(); err != nil {
 		tf.Close()
-		os.Remove(tmp)
+		j.fs.Remove(tmp)
 		return err
 	}
 	if err := tf.Close(); err != nil {
-		os.Remove(tmp)
+		j.fs.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, j.path); err != nil {
-		os.Remove(tmp)
+	if err := j.fs.Rename(tmp, j.path); err != nil {
+		j.fs.Remove(tmp)
 		return err
 	}
-	syncDir(filepath.Dir(j.path))
+	if err := j.fs.SyncDir(filepath.Dir(j.path)); err != nil {
+		// The rename may still be volatile: without the directory sync
+		// its durability is genuinely unknown, which a finalize must
+		// not paper over.
+		return err
+	}
 	err = j.f.Close()
 	j.f = nil
 	return err
@@ -392,16 +471,4 @@ func (j *Journal) Keys() []string {
 	}
 	sort.Strings(keys)
 	return keys
-}
-
-// syncDir makes a rename durable on filesystems that require the
-// directory entry itself to be synced; failures are ignored because
-// not every platform or filesystem supports fsync on directories.
-func syncDir(dir string) {
-	d, err := os.Open(dir)
-	if err != nil {
-		return
-	}
-	d.Sync()
-	d.Close()
 }

@@ -241,10 +241,14 @@ type Collector struct {
 	serveDeadline atomic.Int64
 	serveCanceled atomic.Int64
 	serveDrains   atomic.Int64
-	serveInflight atomic.Int64
-	serveQueued   atomic.Int64
-	serveWaitMS   Histogram
-	serveMS       Histogram
+	// serveJournalErrs counts journal append failures seen by the
+	// serving layer, including every failed retry before it degrades
+	// to memory-only operation.
+	serveJournalErrs atomic.Int64
+	serveInflight    atomic.Int64
+	serveQueued      atomic.Int64
+	serveWaitMS      Histogram
+	serveMS          Histogram
 
 	mu    sync.Mutex // serializes EnsureDisks growth
 	disks atomic.Pointer[[]*diskMetrics]
@@ -586,6 +590,24 @@ func (c *Collector) CountServeDrain() {
 		return
 	}
 	c.serveDrains.Add(1)
+}
+
+// CountServeJournalError records one journal append failure in the
+// serving layer (each failed retry counts separately).
+func (c *Collector) CountServeJournalError() {
+	if c == nil {
+		return
+	}
+	c.serveJournalErrs.Add(1)
+}
+
+// ServeJournalErrors returns the journal append failures the serving
+// layer has observed.
+func (c *Collector) ServeJournalErrors() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.serveJournalErrs.Load()
 }
 
 // ServeInflight adjusts the executing-request gauge.

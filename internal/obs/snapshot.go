@@ -85,15 +85,18 @@ type Snapshot struct {
 	JournalHits   int64 `json:"journal_hits"`
 	JournalMisses int64 `json:"journal_misses"`
 
-	ServeAccepted int64             `json:"serve_accepted"`
-	ServeShed     int64             `json:"serve_shed"`
-	ServeDeadline int64             `json:"serve_deadline"`
-	ServeCanceled int64             `json:"serve_canceled"`
-	ServeDrains   int64             `json:"serve_drains"`
-	ServeInflight int64             `json:"serve_inflight"`
-	ServeQueued   int64             `json:"serve_queue_depth"`
-	ServeWaitMS   HistogramSnapshot `json:"serve_queue_wait_ms"`
-	ServeMS       HistogramSnapshot `json:"serve_handle_ms"`
+	ServeAccepted int64 `json:"serve_accepted"`
+	ServeShed     int64 `json:"serve_shed"`
+	ServeDeadline int64 `json:"serve_deadline"`
+	ServeCanceled int64 `json:"serve_canceled"`
+	ServeDrains   int64 `json:"serve_drains"`
+	// ServeJournalErrors counts journal append failures seen by the
+	// serving layer (every failed retry, before and after degrading).
+	ServeJournalErrors int64             `json:"serve_journal_errors"`
+	ServeInflight      int64             `json:"serve_inflight"`
+	ServeQueued        int64             `json:"serve_queue_depth"`
+	ServeWaitMS        HistogramSnapshot `json:"serve_queue_wait_ms"`
+	ServeMS            HistogramSnapshot `json:"serve_handle_ms"`
 
 	Disks []DiskSnapshot `json:"disks,omitempty"`
 }
@@ -136,6 +139,7 @@ func (c *Collector) Snapshot() Snapshot {
 	s.CellPanics, s.CellRetries = c.cellPanics.Load(), c.cellRetries.Load()
 	s.JournalHits, s.JournalMisses = c.journalHits.Load(), c.journalMisses.Load()
 	s.ServeAccepted, s.ServeShed, s.ServeDeadline, s.ServeCanceled, s.ServeDrains = c.ServeStats()
+	s.ServeJournalErrors = c.ServeJournalErrors()
 	s.ServeInflight, s.ServeQueued = c.ServeGauges()
 	s.ServeWaitMS = c.serveWaitMS.snapshot()
 	s.ServeMS = c.serveMS.snapshot()

@@ -19,6 +19,7 @@ import (
 	"sdpm/internal/core"
 	"sdpm/internal/experiments"
 	"sdpm/internal/faults"
+	"sdpm/internal/fsx"
 	"sdpm/internal/journal"
 	"sdpm/internal/obs"
 	"sdpm/internal/obs/events"
@@ -60,6 +61,18 @@ type Config struct {
 	JournalPath string
 	// Resume reopens an existing journal instead of truncating it.
 	Resume bool
+	// FS is the filesystem the journal writes through; nil selects the
+	// real OS. Tests inject a seeded fault-injecting filesystem
+	// (internal/fsx.Faulty) to exercise degraded mode deterministically.
+	FS fsx.FS
+	// JournalRetries is how many extra attempts a failed journal append
+	// gets (with backoff) before the server degrades to memory-only
+	// operation (0 = 2; negative = no retries). A poisoned journal —
+	// torn write or failed fsync — skips retries: they cannot help.
+	JournalRetries int
+	// JournalRetryBackoff is the sleep before the first append retry,
+	// doubling per attempt (0 = 10ms).
+	JournalRetryBackoff time.Duration
 	// Chaos, when non-nil, arms deterministic self-fault injection
 	// (handler stalls and synthetic panics) for robustness testing.
 	Chaos *Chaos
@@ -90,6 +103,17 @@ func (c *Config) Complete() {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 15 * time.Second
+	}
+	if c.FS == nil {
+		c.FS = fsx.OS
+	}
+	if c.JournalRetries == 0 {
+		c.JournalRetries = 2
+	} else if c.JournalRetries < 0 {
+		c.JournalRetries = 0
+	}
+	if c.JournalRetryBackoff <= 0 {
+		c.JournalRetryBackoff = 10 * time.Millisecond
 	}
 	if c.Obs == nil {
 		c.Obs = obs.New()
@@ -126,6 +150,14 @@ type Server struct {
 	draining bool
 	inflight sync.WaitGroup
 
+	// degraded flips (one-way, until restart) when the journal stays
+	// unwritable past the retry budget: requests are served from
+	// memory and durability-requiring requests get a typed 503. See
+	// degraded.go.
+	degraded       atomic.Bool
+	degradedMu     sync.Mutex
+	degradedReason string
+
 	reqSeq  atomic.Uint64 // admission sequence, keys the chaos draws
 	started time.Time
 }
@@ -155,9 +187,9 @@ func New(cfg Config) (*Server, error) {
 			err error
 		)
 		if cfg.Resume {
-			j, err = journal.Open(cfg.JournalPath)
+			j, err = journal.OpenFS(cfg.FS, cfg.JournalPath)
 		} else {
-			j, err = journal.Create(cfg.JournalPath)
+			j, err = journal.CreateFS(cfg.FS, cfg.JournalPath)
 		}
 		if err != nil {
 			return nil, err
@@ -186,6 +218,12 @@ func (s *Server) Handler() http.Handler {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
 			return
 		}
+		// Degraded is still ready — requests are served correctly from
+		// memory — but the body tells the operator durability is gone.
+		if deg, _ := s.Degraded(); deg {
+			w.Write([]byte("degraded: journal\n"))
+			return
+		}
 		w.Write([]byte("ready\n"))
 	})
 	return mux
@@ -211,6 +249,11 @@ func (s *Server) status() any {
 	}
 	if s.journal != nil {
 		st["journal_cells"] = s.journal.Len()
+		st["journal_errors"] = s.coll.ServeJournalErrors()
+	}
+	if deg, reason := s.Degraded(); deg {
+		st["degraded"] = "journal"
+		st["degraded_reason"] = reason
 	}
 	return st
 }
@@ -515,6 +558,12 @@ type expRequest struct {
 	Faults    string `json:"faults,omitempty"`
 	FaultSeed int64  `json:"fault_seed,omitempty"`
 	Audit     bool   `json:"audit,omitempty"`
+	// Durable demands the crash-safety guarantee: every cell of this
+	// request is journaled durably before the response is written.
+	// While the journal is degraded (unwritable) such requests get a
+	// typed 503 instead of a silently non-durable success; without a
+	// configured journal they are rejected outright (validation).
+	Durable bool `json:"durable,omitempty"`
 }
 
 // handleExperiment renders one experiment exactly as dpmexp would —
@@ -548,7 +597,16 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		}
 		fc = parsed
 	}
+	if req.Durable && s.journal == nil {
+		writeError(w, validationf("durable requested but the service has no journal configured (-journal)"))
+		return
+	}
 	s.execute(w, r, "/v1/experiment", body, func(ctx context.Context) ([]byte, string, *Error) {
+		if req.Durable {
+			if deg, reason := s.Degraded(); deg {
+				return nil, "", unavailableDegraded(reason)
+			}
+		}
 		su := experiments.NewSuite()
 		su.Benchmarks = s.benchmarks // pointer-stable: shared cache keys on program identity
 		su.Cache = s.cache
@@ -557,7 +615,13 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		su.Ctx = ctx
 		su.Obs = s.coll
 		su.Events = s.event
-		su.Journal = s.journal
+		if s.journal != nil {
+			// Always through the degrading wrapper (never the bare
+			// journal): appends retry, then degrade, and the request is
+			// still served from memory. Assigning only when non-nil
+			// keeps su.Journal a true nil interface otherwise.
+			su.Journal = &degradingJournal{s: s}
+		}
 		su.Cfg.Audit = req.Audit
 		if req.Faults != "" {
 			su.Cfg.Faults = fc
@@ -570,6 +634,14 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 				return nil, "", ctxError(ctx, nil)
 			}
 			return nil, "", &Error{Kind: KindInternal, Msg: err.Error()}
+		}
+		// Re-check after the work: if the journal degraded while THIS
+		// request ran, some of its cells were served from memory and
+		// the durability promise is already broken.
+		if req.Durable {
+			if deg, reason := s.Degraded(); deg {
+				return nil, "", unavailableDegraded(reason)
+			}
 		}
 		ct := "text/plain; charset=utf-8"
 		if format == "csv" {
