@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short vet race fuzz-smoke crash-smoke bench bench-json bench-diff experiments golden golden-drift examples cover cover-all serve-smoke govulncheck clean
+.PHONY: all check build test test-short vet race fuzz-smoke crash-smoke bench bench-json bench-diff experiments golden golden-drift examples cover cover-all serve-smoke soak-smoke govulncheck clean
 
 all: check
 
@@ -32,9 +32,11 @@ vet:
 # filesystem (one op counter shared by concurrent handles), the
 # atomic-write helpers (concurrent writers to one destination), and
 # the serving layer (admission control, idempotency cache, and drain
-# racing a burst of concurrent requests).
+# racing a burst of concurrent requests), plus the network-fault tier
+# (the chaos proxy's connection pumps and the resilient client's
+# hedged attempts).
 race:
-	$(GO) test -race ./internal/runner ./internal/core ./internal/sim ./internal/faults ./internal/fsx ./internal/cli ./internal/journal ./internal/obs ./internal/obs/events ./internal/serve
+	$(GO) test -race ./internal/runner ./internal/core ./internal/sim ./internal/faults ./internal/fsx ./internal/cli ./internal/journal ./internal/obs ./internal/obs/events ./internal/serve ./internal/netx ./internal/client
 
 # fuzz-smoke gives each fuzz target a short budget — enough to shake
 # out parser and numeric regressions on every CI run without turning
@@ -49,6 +51,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzJournalDecode -fuzztime=$(FUZZTIME) ./internal/journal
 	$(GO) test -run='^$$' -fuzz=FuzzRecoverTail -fuzztime=$(FUZZTIME) ./internal/journal
 	$(GO) test -run='^$$' -fuzz=FuzzEventDecode -fuzztime=$(FUZZTIME) ./internal/obs/events
+	$(GO) test -run='^$$' -fuzz=FuzzNetxSpec -fuzztime=$(FUZZTIME) ./internal/netx
 
 # crash-smoke runs the crash-consistency suite: the fsx fault model
 # itself, the crash explorer over every power-loss point of a journal
@@ -129,6 +132,15 @@ serve-smoke:
 	mkdir -p results
 	$(GO) build -o results/dpmd ./cmd/dpmd
 	$(GO) run ./tools/servesmoke -bin results/dpmd
+
+# soak-smoke is the network-fault soak gate: boot the real dpmd, put
+# the seeded chaos proxy (internal/netx) between it and the resilient
+# client (internal/client), and prove integrity, determinism, breaker
+# choreography, and hedging end to end (see tools/soaksmoke).
+soak-smoke:
+	mkdir -p results
+	$(GO) build -o results/dpmd ./cmd/dpmd
+	$(GO) run ./tools/soaksmoke -bin results/dpmd
 
 # govulncheck scans the module against the Go vulnerability database.
 # The scanner is not vendored; the target uses an installed binary

@@ -29,6 +29,11 @@
 //	-journal-retries N  append retries (with backoff) before the
 //	                    daemon degrades to memory-only operation
 //	-journal-backoff D  initial sleep between append retries (doubles)
+//	-journal-reprobe D  while degraded, re-probe the journal at this
+//	                    interval and auto-recover once the filesystem
+//	                    heals (0 = stay degraded until restart)
+//	-max-body N         request-body byte cap; larger bodies get a
+//	                    typed 413 (0 = 1 MiB)
 //	-retries N          extra attempts for failing/panicking cells
 //	-chaos SPEC         deterministic self-fault injection for testing:
 //	                    "seed=1,stall=0.3,stall_ms=200,panic=0.05"
@@ -81,6 +86,8 @@ func main() {
 	resume := flag.Bool("resume", false, "reopen the -journal file and serve cells it already holds (requires -journal)")
 	journalRetries := flag.Int("journal-retries", 0, "journal append retries before degrading to memory-only operation (0 = 2, negative = none)")
 	journalBackoff := flag.Duration("journal-backoff", 0, "initial sleep between journal append retries, doubling per attempt (0 = 10ms)")
+	journalReprobe := flag.Duration("journal-reprobe", 0, "while degraded, re-probe the journal at this interval and auto-recover when the filesystem heals (0 = never)")
+	maxBody := flag.Int64("max-body", 0, "max request body bytes; larger bodies get a typed 413 (0 = 1 MiB)")
 	chaosSpec := flag.String("chaos", "", "deterministic self-fault injection spec: seed=N,stall=P,stall_ms=MS,panic=P (empty or 'off' disables)")
 	verbose, quiet := cli.LogFlags(flag.CommandLine)
 	flag.Parse()
@@ -109,6 +116,8 @@ func main() {
 		Resume:              *resume,
 		JournalRetries:      *journalRetries,
 		JournalRetryBackoff: *journalBackoff,
+		JournalReprobe:      *journalReprobe,
+		MaxBody:             *maxBody,
 		Chaos:               chaos,
 	})
 	if err != nil {

@@ -1,0 +1,157 @@
+package client
+
+import (
+	"reflect"
+	"testing"
+)
+
+// drive applies a sequence of 'a' (allow), 's' (success), 'f'
+// (failure) calls and returns the allow results in order.
+func drive(b *breaker, seq string) []bool {
+	var allows []bool
+	for _, c := range seq {
+		switch c {
+		case 'a':
+			allows = append(allows, b.allow())
+		case 's':
+			b.success()
+		case 'f':
+			b.failure()
+		}
+	}
+	return allows
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(BreakerConfig{FailureThreshold: -1}, 1)
+	for i := 0; i < 100; i++ {
+		if !b.allow() {
+			t.Fatalf("disabled breaker rejected call %d", i)
+		}
+		b.failure()
+	}
+	state, opens, _, _, tr := b.snapshot()
+	if state != breakerClosed || opens != 0 || len(tr) != 0 {
+		t.Fatalf("disabled breaker changed state: %s opens=%d tr=%v", state, opens, tr)
+	}
+}
+
+func TestBreakerOpensAtExactDecision(t *testing.T) {
+	b := newBreaker(BreakerConfig{FailureThreshold: 3, ProbeAfter: 2}, 1)
+	// Three allow+failure pairs: the third failure is decision 6.
+	allows := drive(b, "afafaf")
+	if !reflect.DeepEqual(allows, []bool{true, true, true}) {
+		t.Fatalf("allows = %v", allows)
+	}
+	state, opens, _, _, tr := b.snapshot()
+	if state != breakerOpen || opens != 1 {
+		t.Fatalf("state=%s opens=%d", state, opens)
+	}
+	if want := []string{"open@6"}; !reflect.DeepEqual(tr, want) {
+		t.Fatalf("transitions = %v, want %v", tr, want)
+	}
+}
+
+func TestBreakerRejectsThenProbesThenCloses(t *testing.T) {
+	b := newBreaker(BreakerConfig{FailureThreshold: 3, ProbeAfter: 2}, 1)
+	drive(b, "afafaf") // open@6
+	// Two rejections absorb the budget: the second allow is the probe.
+	allows := drive(b, "aa")
+	if !reflect.DeepEqual(allows, []bool{false, true}) {
+		t.Fatalf("open-phase allows = %v, want [false true]", allows)
+	}
+	b.success() // the probe succeeded
+	state, _, halfOpens, closes, tr := b.snapshot()
+	if state != breakerClosed || halfOpens != 1 || closes != 1 {
+		t.Fatalf("state=%s halfOpens=%d closes=%d", state, halfOpens, closes)
+	}
+	want := []string{"open@6", "half-open@8", "closed@9"}
+	if !reflect.DeepEqual(tr, want) {
+		t.Fatalf("transitions = %v, want %v", tr, want)
+	}
+}
+
+func TestBreakerFailedProbeDoublesBudget(t *testing.T) {
+	b := newBreaker(BreakerConfig{FailureThreshold: 1, ProbeAfter: 2}, 1)
+	drive(b, "af")  // open, budget 2
+	drive(b, "aaf") // reject, probe, probe fails -> reopen, budget 4
+	allows := drive(b, "aaaaa")
+	// The doubled budget absorbs three rejections, the fourth call is
+	// the probe, and the fifth is rejected while the probe is in
+	// flight.
+	if !reflect.DeepEqual(allows, []bool{false, false, false, true, false}) {
+		t.Fatalf("doubled-budget allows = %v", allows)
+	}
+	b.success()
+	if state, opens, _, closes, _ := b.snapshot(); state != breakerClosed || opens != 2 || closes != 1 {
+		t.Fatalf("state=%s opens=%d closes=%d", state, opens, closes)
+	}
+	// After a full close the doubling streak resets: the next open gets
+	// the base budget again.
+	drive(b, "af")
+	allows = drive(b, "aa")
+	if !reflect.DeepEqual(allows, []bool{false, true}) {
+		t.Fatalf("post-recovery allows = %v, want base budget of 2", allows)
+	}
+}
+
+func TestBreakerBudgetCap(t *testing.T) {
+	b := newBreaker(BreakerConfig{FailureThreshold: 1, ProbeAfter: 2, MaxProbeAfter: 4}, 1)
+	if got := b.budget(1); got != 2 {
+		t.Fatalf("budget(1) = %d", got)
+	}
+	if got := b.budget(2); got != 4 {
+		t.Fatalf("budget(2) = %d", got)
+	}
+	for k := int64(3); k < 10; k++ {
+		if got := b.budget(k); got != 4 {
+			t.Fatalf("budget(%d) = %d, want capped at 4", k, got)
+		}
+	}
+}
+
+func TestBreakerProbeJitterDeterministic(t *testing.T) {
+	mk := func(seed int64) *breaker {
+		return newBreaker(BreakerConfig{FailureThreshold: 1, ProbeAfter: 4, ProbeJitter: 8}, seed)
+	}
+	a, b := mk(42), mk(42)
+	for k := int64(1); k <= 6; k++ {
+		if a.budget(k) != b.budget(k) {
+			t.Fatalf("same seed, different budget at open %d: %d vs %d", k, a.budget(k), b.budget(k))
+		}
+	}
+	other := mk(43)
+	differ := false
+	for k := int64(1); k <= 6; k++ {
+		if a.budget(k) != other.budget(k) {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Fatalf("different seeds produced identical jittered budgets across 6 opens")
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b := newBreaker(BreakerConfig{FailureThreshold: 1, ProbeAfter: 1, ProbeSuccesses: 2}, 1)
+	drive(b, "af") // open
+	allows := drive(b, "a")
+	if !reflect.DeepEqual(allows, []bool{true}) {
+		t.Fatalf("probe allow = %v", allows)
+	}
+	// While the probe is in flight, further calls are rejected.
+	if b.allow() {
+		t.Fatalf("second concurrent probe allowed")
+	}
+	b.success() // probe 1 of 2: still half-open
+	if state, _, _, _, _ := b.snapshot(); state != breakerHalf {
+		t.Fatalf("state after first probe success = %s, want half-open", state)
+	}
+	if !b.allow() {
+		t.Fatalf("second probe rejected")
+	}
+	b.success()
+	if state, _, _, closes, _ := b.snapshot(); state != breakerClosed || closes != 1 {
+		t.Fatalf("state=%s closes=%d after two probe successes", state, closes)
+	}
+}

@@ -352,6 +352,40 @@ func (j *Journal) Append(key string, vals []float64) error {
 	return nil
 }
 
+// Probe verifies the journal is writable without adding a record: it
+// writes a single newline at end of file, fsyncs, truncates the byte
+// back off, and fsyncs again. A crash mid-probe leaves at most a
+// blank tail line, which recovery already discards as torn. Callers
+// (the serving layer's degraded-mode reprobe) use this to prove a
+// reopened journal is genuinely healthy before trusting it with
+// durability again.
+func (j *Journal) Probe() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("journal: closed")
+	}
+	if j.poisoned != nil {
+		return fmt.Errorf("journal: poisoned by earlier failure: %w", j.poisoned)
+	}
+	if _, err := j.f.Write([]byte("\n")); err != nil {
+		return &IOError{Path: j.path, Op: "write", Offset: j.size, Err: err}
+	}
+	if err := j.f.Sync(); err != nil {
+		return &IOError{Path: j.path, Op: "sync", Offset: j.size, Err: err}
+	}
+	if err := j.f.Truncate(j.size); err != nil {
+		return err
+	}
+	if _, err := j.f.Seek(j.size, io.SeekStart); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return &IOError{Path: j.path, Op: "sync", Offset: j.size, Err: err}
+	}
+	return nil
+}
+
 // Lookup returns the journaled values for key, if any.
 func (j *Journal) Lookup(key string) ([]float64, bool) {
 	j.mu.Lock()

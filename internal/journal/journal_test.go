@@ -57,9 +57,9 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 		nil,
 		[]byte(""),
 		[]byte("short"),
-		line[:len(line)-1],              // truncated payload
-		line[1:],                        // truncated header
-		[]byte("zzzzzzzz " + "{}"),      // non-hex checksum
+		line[:len(line)-1],               // truncated payload
+		line[1:],                         // truncated header
+		[]byte("zzzzzzzz " + "{}"),       // non-hex checksum
 		[]byte("00000000 {\"k\":\"x\"}"), // wrong checksum
 	}
 	flip := append([]byte(nil), line...)

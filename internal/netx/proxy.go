@@ -1,0 +1,412 @@
+package netx
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdpm/internal/faults"
+)
+
+// Distinct splitmix64 streams keep each fault kind's per-connection
+// decisions independent for the same connection index (the same
+// convention as internal/faults and serve.Chaos).
+const (
+	streamJitter    = 0x6e6574780a000001
+	streamReset     = 0x6e6574780a000002
+	streamTruncate  = 0x6e6574780a000003
+	streamCorrupt   = 0x6e6574780a000004
+	streamBlackhole = 0x6e6574780a000005
+	streamStall     = 0x6e6574780a000006
+	streamCorruptAt = 0x6e6574780a000007
+)
+
+// Counters is a snapshot of the proxy's injected-fault tallies. All
+// fields count connections except Corrupts, which counts corruptions
+// that actually landed on a body byte.
+type Counters struct {
+	Accepted   int64
+	Blackholes int64
+	Resets     int64
+	Truncates  int64
+	Corrupts   int64
+	Stalls     int64
+}
+
+// String renders the counters as a deterministic single line.
+func (c Counters) String() string {
+	return fmt.Sprintf("accepted=%d blackholes=%d resets=%d truncates=%d corrupts=%d stalls=%d",
+		c.Accepted, c.Blackholes, c.Resets, c.Truncates, c.Corrupts, c.Stalls)
+}
+
+// Proxy is the fault-injecting TCP reverse proxy. Create with New,
+// start with Start, stop with Close. A Proxy is safe for concurrent
+// connections; fault decisions are keyed by each connection's accept
+// index, which is assigned in accept order.
+type Proxy struct {
+	upstream string
+	seed     int64
+	cfg      Config
+
+	resetAt, truncateAt, corruptAt, blackholeAt, stallAt map[int]bool
+
+	ln      net.Listener
+	connSeq atomic.Uint64
+
+	accepted, blackholes, resets, truncates, corrupts, stalls atomic.Int64
+
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+// New builds a proxy forwarding to the upstream host:port with the
+// given fault configuration and seed.
+func New(upstream string, seed int64, cfg Config) (*Proxy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Proxy{
+		upstream:    upstream,
+		seed:        seed,
+		cfg:         cfg,
+		resetAt:     indexSet(cfg.ResetAt),
+		truncateAt:  indexSet(cfg.TruncateAt),
+		corruptAt:   indexSet(cfg.CorruptAt),
+		blackholeAt: indexSet(cfg.BlackholeAt),
+		stallAt:     indexSet(cfg.StallAt),
+		conns:       make(map[net.Conn]bool),
+		closed:      make(chan struct{}),
+	}, nil
+}
+
+func indexSet(at []int) map[int]bool {
+	m := make(map[int]bool, len(at))
+	for _, i := range at {
+		m[i] = true
+	}
+	return m
+}
+
+// Start listens on addr (use "127.0.0.1:0" for an ephemeral port) and
+// begins accepting; it returns the bound address immediately.
+func (p *Proxy) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p.ln = ln
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return ln.Addr(), nil
+}
+
+// Addr returns the proxy's bound address (nil before Start).
+func (p *Proxy) Addr() net.Addr {
+	if p.ln == nil {
+		return nil
+	}
+	return p.ln.Addr()
+}
+
+// Close stops the listener, severs every open connection (including
+// blackholed ones), and waits for the handlers to finish.
+func (p *Proxy) Close() error {
+	select {
+	case <-p.closed:
+		return nil
+	default:
+	}
+	close(p.closed)
+	var err error
+	if p.ln != nil {
+		err = p.ln.Close()
+	}
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+// Counters returns the injected-fault tallies so far.
+func (p *Proxy) Counters() Counters {
+	return Counters{
+		Accepted:   p.accepted.Load(),
+		Blackholes: p.blackholes.Load(),
+		Resets:     p.resets.Load(),
+		Truncates:  p.truncates.Load(),
+		Corrupts:   p.corrupts.Load(),
+		Stalls:     p.stalls.Load(),
+	}
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		idx := int(p.connSeq.Add(1) - 1)
+		p.accepted.Add(1)
+		p.track(conn, true)
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer p.track(conn, false)
+			defer conn.Close()
+			p.handle(conn, idx)
+		}()
+	}
+}
+
+func (p *Proxy) track(c net.Conn, add bool) {
+	p.mu.Lock()
+	if add {
+		p.conns[c] = true
+	} else {
+		delete(p.conns, c)
+	}
+	p.mu.Unlock()
+}
+
+// connPlan is one connection's resolved fault schedule.
+type connPlan struct {
+	blackhole bool
+	reset     bool
+	truncate  bool
+	corrupt   bool
+	stall     bool
+
+	delay      time.Duration
+	corruptOff int64 // body offset of the flipped byte
+	corruptXor byte
+}
+
+// plan resolves connection idx's faults: exact-index membership wins,
+// otherwise the seeded per-kind probability draw decides.
+func (p *Proxy) plan(idx int) connPlan {
+	c := p.cfg
+	k := uint64(idx)
+	draw := func(stream uint64, prob float64, at map[int]bool) bool {
+		if at[idx] {
+			return true
+		}
+		if prob <= 0 {
+			return false
+		}
+		return faults.Uniform(p.seed, stream, k) < prob
+	}
+	pl := connPlan{
+		blackhole: draw(streamBlackhole, c.BlackholeProb, p.blackholeAt),
+		reset:     draw(streamReset, c.ResetProb, p.resetAt),
+		truncate:  draw(streamTruncate, c.TruncateProb, p.truncateAt),
+		corrupt:   draw(streamCorrupt, c.CorruptProb, p.corruptAt),
+		stall:     draw(streamStall, c.StallProb, p.stallAt),
+	}
+	delayMS := c.LatencyMS
+	if c.JitterMS > 0 {
+		delayMS += faults.Uniform(p.seed, streamJitter, k) * c.JitterMS
+	}
+	pl.delay = time.Duration(delayMS * float64(time.Millisecond))
+	if pl.corrupt {
+		cd := faults.Uniform(p.seed, streamCorruptAt, k)
+		pl.corruptOff = int64(cd * 32)
+		// A nonzero XOR mask derived from the same draw; 1..255.
+		pl.corruptXor = byte(1 + int(cd*255)%255)
+	}
+	return pl
+}
+
+// handle proxies one client connection through the fault pipeline.
+// The request path (client -> upstream) is forwarded untouched; every
+// fault applies to the response path.
+func (p *Proxy) handle(client net.Conn, idx int) {
+	pl := p.plan(idx)
+	if pl.blackhole {
+		p.blackholes.Add(1)
+		// Swallow the request and never answer; the connection dies
+		// when the client gives up or the proxy closes.
+		io.Copy(io.Discard, client)
+		return
+	}
+	upstream, err := net.Dial("tcp", p.upstream)
+	if err != nil {
+		slog.Warn("netx: upstream dial failed", "upstream", p.upstream, "err", err)
+		return
+	}
+	defer upstream.Close()
+	p.track(upstream, true)
+	defer p.track(upstream, false)
+
+	// Request path: verbatim. CloseWrite propagates the client's FIN
+	// so the upstream sees end-of-request.
+	go func() {
+		io.Copy(upstream, client)
+		if tc, ok := upstream.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}()
+
+	p.pumpResponse(client, upstream, pl)
+}
+
+// pumpResponse forwards upstream->client applying latency, rate,
+// stall, corruption, truncation, and reset per the plan.
+func (p *Proxy) pumpResponse(client, upstream net.Conn, pl connPlan) {
+	resetAfter := p.cfg.ResetAfterBytes
+	if pl.reset && resetAfter == 0 {
+		resetAfter = 64
+	}
+	truncAfter := p.cfg.TruncateAfterBytes
+	if pl.truncate && truncAfter == 0 {
+		truncAfter = 1
+	}
+
+	var (
+		total     int64 // response bytes forwarded
+		body      int64 // body bytes forwarded (past the first CRLFCRLF)
+		inBody    bool
+		tail      [3]byte // carries the header-end scan across chunks
+		tailLen   int
+		first     = true
+		stalled   bool
+		corrupted = !pl.corrupt
+	)
+	buf := make([]byte, 1024)
+	for {
+		n, rerr := upstream.Read(buf)
+		if n > 0 {
+			chunk := buf[:n]
+			if first {
+				first = false
+				if pl.delay > 0 && !p.sleep(pl.delay) {
+					return
+				}
+			}
+			// Scan for the end of the HTTP headers so body-relative
+			// faults (corrupt, truncate, stall) land past them.
+			start := 0
+			if !inBody {
+				if off := headerEnd(tail[:tailLen], chunk); off >= 0 {
+					inBody = true
+					start = off
+				} else {
+					tailLen = copy(tail[:], lastN(chunk, 3))
+				}
+			}
+			if inBody {
+				bodyChunk := chunk[start:]
+				if !corrupted {
+					rel := pl.corruptOff - body
+					if rel >= 0 && rel < int64(len(bodyChunk)) {
+						bodyChunk[rel] ^= pl.corruptXor
+						corrupted = true
+						p.corrupts.Add(1)
+					}
+				}
+				if pl.stall && !stalled && body+int64(len(bodyChunk)) > p.cfg.StallAfterBytes {
+					stalled = true
+					p.stalls.Add(1)
+					ms := p.cfg.StallMS
+					if ms == 0 {
+						ms = 100
+					}
+					if !p.sleep(time.Duration(ms * float64(time.Millisecond))) {
+						return
+					}
+				}
+				body += int64(len(bodyChunk))
+			}
+			// Reset: forward up to the reset point, then RST.
+			if pl.reset && total+int64(n) >= resetAfter {
+				keep := resetAfter - total
+				if keep > 0 {
+					client.Write(chunk[:keep])
+				}
+				p.resets.Add(1)
+				if tc, ok := client.(*net.TCPConn); ok {
+					tc.SetLinger(0) // RST instead of FIN
+				}
+				return
+			}
+			// Truncate: forward up to the cut point of the body, then
+			// close cleanly.
+			if pl.truncate && inBody && body > truncAfter {
+				over := body - truncAfter
+				keep := int64(n) - over
+				if keep > 0 {
+					client.Write(chunk[:keep])
+				}
+				p.truncates.Add(1)
+				return
+			}
+			if _, werr := client.Write(chunk); werr != nil {
+				return
+			}
+			total += int64(n)
+			if p.cfg.RateKBps > 0 {
+				// Pace after each chunk: bytes / (KB/s * 1024) seconds.
+				d := time.Duration(float64(n) / (p.cfg.RateKBps * 1024) * float64(time.Second))
+				if d > 0 && !p.sleep(d) {
+					return
+				}
+			}
+		}
+		if rerr != nil {
+			if tc, ok := client.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+			// Drain until the client goes away so late request bytes
+			// (pipelined or keep-alive probes) don't reset the client.
+			return
+		}
+	}
+}
+
+// sleep waits d, returning false if the proxy closed meanwhile.
+func (p *Proxy) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-p.closed:
+		return false
+	}
+}
+
+// headerEnd locates the first byte past the HTTP header terminator
+// (CRLFCRLF) considering up to 3 bytes of carry-over from the
+// previous chunk; -1 when the terminator is not in this chunk.
+func headerEnd(tail, chunk []byte) int {
+	joined := string(tail) + string(chunk)
+	if i := strings.Index(joined, "\r\n\r\n"); i >= 0 {
+		off := i + 4 - len(tail)
+		if off < 0 {
+			off = 0
+		}
+		if off > len(chunk) {
+			off = len(chunk)
+		}
+		return off
+	}
+	return -1
+}
+
+// lastN returns the trailing n bytes of b (or all of b).
+func lastN(b []byte, n int) []byte {
+	if len(b) <= n {
+		return b
+	}
+	return b[len(b)-n:]
+}

@@ -245,10 +245,14 @@ type Collector struct {
 	// serving layer, including every failed retry before it degrades
 	// to memory-only operation.
 	serveJournalErrs atomic.Int64
-	serveInflight    atomic.Int64
-	serveQueued      atomic.Int64
-	serveWaitMS      Histogram
-	serveMS          Histogram
+	// serveJournalRecov counts degraded-mode recoveries: the periodic
+	// re-probe successfully re-attached the journal and durability
+	// resumed.
+	serveJournalRecov atomic.Int64
+	serveInflight     atomic.Int64
+	serveQueued       atomic.Int64
+	serveWaitMS       Histogram
+	serveMS           Histogram
 
 	mu    sync.Mutex // serializes EnsureDisks growth
 	disks atomic.Pointer[[]*diskMetrics]
@@ -608,6 +612,24 @@ func (c *Collector) ServeJournalErrors() int64 {
 		return 0
 	}
 	return c.serveJournalErrs.Load()
+}
+
+// CountServeJournalRecovery records one degraded-mode recovery: the
+// serving layer re-attached its journal and durability resumed.
+func (c *Collector) CountServeJournalRecovery() {
+	if c == nil {
+		return
+	}
+	c.serveJournalRecov.Add(1)
+}
+
+// ServeJournalRecoveries returns how many times the serving layer has
+// recovered from journal degradation.
+func (c *Collector) ServeJournalRecoveries() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.serveJournalRecov.Load()
 }
 
 // ServeInflight adjusts the executing-request gauge.

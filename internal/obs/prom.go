@@ -100,6 +100,7 @@ func WritePrometheusSnapshot(w io.Writer, s *Snapshot) error {
 	writeCounter(bw, "sdpm_serve_canceled_total", "Requests abandoned by their client before completion.", s.ServeCanceled)
 	writeCounter(bw, "sdpm_serve_drains_total", "Drain transitions (readiness flipped to draining).", s.ServeDrains)
 	writeCounter(bw, "sdpm_serve_journal_errors_total", "Journal append failures seen by the serving layer (each failed retry counts).", s.ServeJournalErrors)
+	writeCounter(bw, "sdpm_serve_journal_recoveries_total", "Degraded-mode recoveries: the journal re-probe re-attached durability.", s.ServeJournalRecoveries)
 	writeGauge(bw, "sdpm_serve_inflight", "Requests currently executing in the serving layer.", s.ServeInflight)
 	writeGauge(bw, "sdpm_serve_queue_depth", "Requests currently waiting in the admission queue.", s.ServeQueued)
 	writeHistogram(bw, "sdpm_serve_queue_wait_ms", "Admission-queue wait of accepted requests in milliseconds.", &s.ServeWaitMS)

@@ -19,6 +19,9 @@ func TestServeMetrics(t *testing.T) {
 	c.CountServeDeadline()
 	c.CountServeCanceled()
 	c.CountServeDrain()
+	c.CountServeJournalError()
+	c.CountServeJournalRecovery()
+	c.CountServeJournalRecovery()
 	c.ServeInflight(1)
 	c.ServeQueued(2)
 	c.ServeQueued(-1)
@@ -26,6 +29,9 @@ func TestServeMetrics(t *testing.T) {
 	accepted, shed, deadline, canceled, drains := c.ServeStats()
 	if accepted != 2 || shed != 2 || deadline != 1 || canceled != 1 || drains != 1 {
 		t.Fatalf("ServeStats = %d %d %d %d %d", accepted, shed, deadline, canceled, drains)
+	}
+	if c.ServeJournalErrors() != 1 || c.ServeJournalRecoveries() != 2 {
+		t.Fatalf("journal counters = %d errors, %d recoveries", c.ServeJournalErrors(), c.ServeJournalRecoveries())
 	}
 	inflight, queued := c.ServeGauges()
 	if inflight != 1 || queued != 1 {
@@ -35,6 +41,7 @@ func TestServeMetrics(t *testing.T) {
 	s := c.Snapshot()
 	if s.ServeAccepted != 2 || s.ServeShed != 2 || s.ServeDeadline != 1 ||
 		s.ServeCanceled != 1 || s.ServeDrains != 1 ||
+		s.ServeJournalErrors != 1 || s.ServeJournalRecoveries != 2 ||
 		s.ServeInflight != 1 || s.ServeQueued != 1 {
 		t.Fatalf("snapshot serve fields wrong: %+v", s)
 	}
@@ -53,6 +60,8 @@ func TestServeMetrics(t *testing.T) {
 		"sdpm_serve_deadline_total 1",
 		"sdpm_serve_canceled_total 1",
 		"sdpm_serve_drains_total 1",
+		"sdpm_serve_journal_errors_total 1",
+		"sdpm_serve_journal_recoveries_total 2",
 		"sdpm_serve_inflight 1",
 		"sdpm_serve_queue_depth 1",
 		"sdpm_serve_queue_wait_ms_count 2",
@@ -74,10 +83,15 @@ func TestServeMetricsNilCollector(t *testing.T) {
 	c.CountServeDeadline()
 	c.CountServeCanceled()
 	c.CountServeDrain()
+	c.CountServeJournalError()
+	c.CountServeJournalRecovery()
 	c.ServeInflight(1)
 	c.ServeQueued(1)
 	if a, s, d, x, dr := c.ServeStats(); a|s|d|x|dr != 0 {
 		t.Fatalf("nil ServeStats = %d %d %d %d %d", a, s, d, x, dr)
+	}
+	if c.ServeJournalErrors() != 0 || c.ServeJournalRecoveries() != 0 {
+		t.Fatalf("nil journal counters nonzero")
 	}
 	if i, q := c.ServeGauges(); i|q != 0 {
 		t.Fatalf("nil ServeGauges = %d %d", i, q)

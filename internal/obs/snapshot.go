@@ -92,11 +92,14 @@ type Snapshot struct {
 	ServeDrains   int64 `json:"serve_drains"`
 	// ServeJournalErrors counts journal append failures seen by the
 	// serving layer (every failed retry, before and after degrading).
-	ServeJournalErrors int64             `json:"serve_journal_errors"`
-	ServeInflight      int64             `json:"serve_inflight"`
-	ServeQueued        int64             `json:"serve_queue_depth"`
-	ServeWaitMS        HistogramSnapshot `json:"serve_queue_wait_ms"`
-	ServeMS            HistogramSnapshot `json:"serve_handle_ms"`
+	ServeJournalErrors int64 `json:"serve_journal_errors"`
+	// ServeJournalRecoveries counts degraded-mode recoveries (the
+	// journal re-probe re-attached durability).
+	ServeJournalRecoveries int64             `json:"serve_journal_recoveries"`
+	ServeInflight          int64             `json:"serve_inflight"`
+	ServeQueued            int64             `json:"serve_queue_depth"`
+	ServeWaitMS            HistogramSnapshot `json:"serve_queue_wait_ms"`
+	ServeMS                HistogramSnapshot `json:"serve_handle_ms"`
 
 	Disks []DiskSnapshot `json:"disks,omitempty"`
 }
@@ -140,6 +143,7 @@ func (c *Collector) Snapshot() Snapshot {
 	s.JournalHits, s.JournalMisses = c.journalHits.Load(), c.journalMisses.Load()
 	s.ServeAccepted, s.ServeShed, s.ServeDeadline, s.ServeCanceled, s.ServeDrains = c.ServeStats()
 	s.ServeJournalErrors = c.ServeJournalErrors()
+	s.ServeJournalRecoveries = c.ServeJournalRecoveries()
 	s.ServeInflight, s.ServeQueued = c.ServeGauges()
 	s.ServeWaitMS = c.serveWaitMS.snapshot()
 	s.ServeMS = c.serveMS.snapshot()

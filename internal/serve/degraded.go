@@ -31,7 +31,7 @@ var _ experiments.CellJournal = (*degradingJournal)(nil)
 // Lookup serves resumed cells straight from the journal's in-memory
 // record set (which stays valid even when the file is unwritable).
 func (d *degradingJournal) Lookup(key string) ([]float64, bool) {
-	return d.s.journal.Lookup(key)
+	return d.s.jrnl().Lookup(key)
 }
 
 // Append journals one completed cell. A failure is retried up to
@@ -50,7 +50,12 @@ func (d *degradingJournal) Append(key string, vals []float64) error {
 	backoff := s.cfg.JournalRetryBackoff
 	var last error
 	for attempt := 0; ; attempt++ {
-		err := s.journal.Append(key, vals)
+		// Refetch the handle every attempt: the reprobe loop may have
+		// swapped in a fresh journal since the last one (an append to
+		// the closed old handle fails cleanly and the retry lands on
+		// the new one).
+		j := s.jrnl()
+		err := j.Append(key, vals)
 		if err == nil {
 			if attempt > 0 {
 				slog.Info("journal append recovered after retry", "attempts", attempt+1)
@@ -60,7 +65,7 @@ func (d *degradingJournal) Append(key string, vals []float64) error {
 		last = err
 		s.coll.CountServeJournalError()
 		slog.Warn("journal append failed", "key", key, "attempt", attempt+1, "err", err)
-		if s.journal.Poisoned() != nil || attempt >= s.cfg.JournalRetries || s.degraded.Load() {
+		if j.Poisoned() != nil || attempt >= s.cfg.JournalRetries || s.degraded.Load() {
 			break
 		}
 		time.Sleep(backoff)
@@ -101,6 +106,15 @@ func (s *Server) setDegraded(cause error) {
 	}
 	s.event.Emit(events.Event{Kind: events.KindServe, Disk: -1, Detail: detail})
 	slog.Error("journal degraded; serving from memory, results are no longer durable", "err", cause)
+}
+
+// clearDegraded lifts degraded mode after a successful reprobe
+// re-attached the journal.
+func (s *Server) clearDegraded() {
+	s.degradedMu.Lock()
+	s.degraded.Store(false)
+	s.degradedReason = ""
+	s.degradedMu.Unlock()
 }
 
 // unavailableDegraded is the typed 503 a durability-requiring request

@@ -41,6 +41,9 @@ const (
 	// KindConflict — an idempotency key was reused with a different
 	// request body. 409.
 	KindConflict Kind = "conflict"
+	// KindTooLarge — the request body exceeds the configured size cap;
+	// the connection may also be closed by the transport. 413.
+	KindTooLarge Kind = "too_large"
 	// KindUnavailable — the service is draining and accepts no new
 	// work. 503.
 	KindUnavailable Kind = "unavailable"
@@ -76,6 +79,8 @@ func (e *Error) HTTPStatus() int {
 		return 499
 	case KindConflict:
 		return http.StatusConflict
+	case KindTooLarge:
+		return http.StatusRequestEntityTooLarge
 	case KindUnavailable:
 		return http.StatusServiceUnavailable
 	default:

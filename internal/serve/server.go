@@ -3,9 +3,12 @@ package serve
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"runtime"
@@ -73,6 +76,17 @@ type Config struct {
 	// JournalRetryBackoff is the sleep before the first append retry,
 	// doubling per attempt (0 = 10ms).
 	JournalRetryBackoff time.Duration
+	// JournalReprobe, when positive, arms degraded-mode auto-recovery:
+	// while the journal is degraded, a background loop re-probes the
+	// journal path at this interval (with a small seeded jitter) and —
+	// when the filesystem has healed — re-attaches a fresh journal,
+	// flips /readyz back to ok, and counts the recovery. Zero disables
+	// auto-recovery (degraded stays until restart, the pre-existing
+	// behavior).
+	JournalReprobe time.Duration
+	// MaxBody caps the request body in bytes; a larger body gets a
+	// typed 413 (0 = 1 MiB).
+	MaxBody int64
 	// Chaos, when non-nil, arms deterministic self-fault injection
 	// (handler stalls and synthetic panics) for robustness testing.
 	Chaos *Chaos
@@ -115,6 +129,9 @@ func (c *Config) Complete() {
 	if c.JournalRetryBackoff <= 0 {
 		c.JournalRetryBackoff = 10 * time.Millisecond
 	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 1 << 20 // a request is a small JSON document; anything bigger is abuse
+	}
 	if c.Obs == nil {
 		c.Obs = obs.New()
 	}
@@ -138,7 +155,15 @@ type Server struct {
 	// every request must see the same *workloads.Benchmark values.
 	benchmarks []*workloads.Benchmark
 	cache      *core.Cache
-	journal    *journal.Journal
+
+	// journalMu guards the journal pointer, which the reprobe loop
+	// swaps for a fresh handle on recovery. Read through jrnl(); the
+	// pointer is non-nil for the server's whole lifetime iff
+	// JournalPath is configured.
+	journalMu sync.RWMutex
+	journal   *journal.Journal
+	// reprobeStop ends the auto-recovery loop; closed by BeginDrain.
+	reprobeStop chan struct{}
 
 	// mu orders the drain flag against in-flight registration: a
 	// handler holds the read side while it checks draining and joins
@@ -198,8 +223,30 @@ func New(cfg Config) (*Server, error) {
 			slog.Info("journal recovered", "path", cfg.JournalPath, "records", records, "truncated_bytes", torn)
 		}
 		s.journal = j
+		if cfg.JournalReprobe > 0 {
+			s.reprobeStop = make(chan struct{})
+			go s.reprobeLoop()
+		}
 	}
 	return s, nil
+}
+
+// jrnl returns the current journal handle (nil when no journal is
+// configured). The pointer is re-read on every call because the
+// reprobe loop swaps it on recovery.
+func (s *Server) jrnl() *journal.Journal {
+	s.journalMu.RLock()
+	defer s.journalMu.RUnlock()
+	return s.journal
+}
+
+// swapJournal installs a fresh journal handle and returns the old one.
+func (s *Server) swapJournal(j *journal.Journal) *journal.Journal {
+	s.journalMu.Lock()
+	old := s.journal
+	s.journal = j
+	s.journalMu.Unlock()
+	return old
 }
 
 // Handler returns the service's routes mounted next to the standard
@@ -247,9 +294,10 @@ func (s *Server) status() any {
 		"cache_len":   s.cache.Len(),
 		"chaos_armed": s.chaos != nil,
 	}
-	if s.journal != nil {
-		st["journal_cells"] = s.journal.Len()
+	if j := s.jrnl(); j != nil {
+		st["journal_cells"] = j.Len()
 		st["journal_errors"] = s.coll.ServeJournalErrors()
+		st["journal_recoveries"] = s.coll.ServeJournalRecoveries()
 	}
 	if deg, reason := s.Degraded(); deg {
 		st["degraded"] = "journal"
@@ -276,6 +324,9 @@ func (s *Server) BeginDrain() {
 	if already {
 		return
 	}
+	if s.reprobeStop != nil {
+		close(s.reprobeStop)
+	}
 	s.coll.CountServeDrain()
 	s.event.Emit(events.Event{Kind: events.KindServe, Disk: -1, Detail: "drain_begin"})
 	slog.Info("drain started", "drain_timeout", s.cfg.DrainTimeout)
@@ -299,12 +350,12 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		waitErr = fmt.Errorf("serve: drain deadline expired with requests still in flight: %w", ctx.Err())
 	}
-	if s.journal != nil {
+	if j := s.jrnl(); j != nil {
 		if waitErr == nil {
-			if err := s.journal.Finalize(); err != nil {
+			if err := j.Finalize(); err != nil {
 				waitErr = fmt.Errorf("serve: journal finalize: %w", err)
 			}
-		} else if err := s.journal.Close(); err != nil {
+		} else if err := j.Close(); err != nil {
 			slog.Warn("journal close failed", "err", err)
 		}
 	}
@@ -373,9 +424,8 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, route string, b
 			return
 		}
 		if !leader {
-			w.Header().Set("Content-Type", e.contentType)
 			w.Header().Set("Idempotency-Replayed", "true")
-			w.Write(e.body)
+			writeSuccess(w, e.body, e.contentType)
 			s.finishObs(nil, start)
 			return
 		}
@@ -394,9 +444,19 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, route string, b
 	if entry != nil {
 		s.idem.complete(key, entry, respBody, contentType)
 	}
-	w.Header().Set("Content-Type", contentType)
-	w.Write(respBody)
+	writeSuccess(w, respBody, contentType)
 	s.finishObs(nil, start)
+}
+
+// writeSuccess writes a success body with its content type and an
+// end-to-end integrity digest: X-Sdpm-Digest commits to the exact
+// body bytes, so a client can detect silent corruption on the wire
+// (internal/client verifies it and treats a mismatch as retryable).
+func writeSuccess(w http.ResponseWriter, body []byte, contentType string) {
+	w.Header().Set("Content-Type", contentType)
+	sum := sha256.Sum256(body)
+	w.Header().Set("X-Sdpm-Digest", "sha256="+hex.EncodeToString(sum[:]))
+	w.Write(body)
 }
 
 // admitAndRun claims an execution slot and runs work inside a
@@ -446,8 +506,8 @@ func (s *Server) admitAndRun(ctx context.Context, work func(ctx context.Context)
 		// already made durable (those survive for a resume).
 		if werr.Kind == KindDeadline && werr.Meta == nil {
 			meta := map[string]any{"elapsed_ms": time.Since(started).Milliseconds()}
-			if s.journal != nil {
-				meta["journal_cells"] = s.journal.Len()
+			if j := s.jrnl(); j != nil {
+				meta["journal_cells"] = j.Len()
 			}
 			werr.Meta = meta
 		}
@@ -495,7 +555,7 @@ type simResponse struct {
 // handleSim runs one (benchmark, scheme) simulation under the shared
 // instance cache and returns its headline numbers.
 func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
-	body, req, verr := decodeBody[simRequest](r)
+	body, req, verr := decodeBody[simRequest](w, r, s.cfg.MaxBody)
 	if verr != nil {
 		writeError(w, verr)
 		return
@@ -571,7 +631,7 @@ type expRequest struct {
 // returns the rendered table verbatim, so the response bytes are
 // identical to an offline dpmexp run of the same experiment.
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
-	body, req, verr := decodeBody[expRequest](r)
+	body, req, verr := decodeBody[expRequest](w, r, s.cfg.MaxBody)
 	if verr != nil {
 		writeError(w, verr)
 		return
@@ -597,7 +657,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		}
 		fc = parsed
 	}
-	if req.Durable && s.journal == nil {
+	if req.Durable && s.jrnl() == nil {
 		writeError(w, validationf("durable requested but the service has no journal configured (-journal)"))
 		return
 	}
@@ -615,7 +675,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		su.Ctx = ctx
 		su.Obs = s.coll
 		su.Events = s.event
-		if s.journal != nil {
+		if s.jrnl() != nil {
 			// Always through the degrading wrapper (never the bare
 			// journal): appends retry, then degrade, and the request is
 			// still served from memory. Assigning only when non-nil
@@ -662,17 +722,30 @@ func (s *Server) handleListBenchmarks(w http.ResponseWriter, r *http.Request) {
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
+	data, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, &Error{Kind: KindInternal, Msg: err.Error()})
+		return
+	}
+	writeSuccess(w, append(data, '\n'), "application/json")
 }
 
 // decodeBody reads and strictly decodes a JSON request body,
 // returning the raw bytes too (the idempotency fingerprint covers
-// them).
-func decodeBody[T any](r *http.Request) ([]byte, *T, *Error) {
-	const maxBody = 1 << 20 // a request is a small JSON document; anything bigger is abuse
-	raw, err := readAll(r, maxBody)
+// them). The body is bounded by http.MaxBytesReader — an oversized
+// one gets a typed 413 and the transport stops reading the rest.
+func decodeBody[T any](w http.ResponseWriter, r *http.Request, max int64) ([]byte, *T, *Error) {
+	defer r.Body.Close()
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, max))
 	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, nil, &Error{
+				Kind: KindTooLarge,
+				Msg:  fmt.Sprintf("request body exceeds the %d-byte limit", mbe.Limit),
+				Meta: map[string]any{"max_body_bytes": mbe.Limit},
+			}
+		}
 		return nil, nil, validationf("reading body: %v", err)
 	}
 	var req T
@@ -681,39 +754,14 @@ func decodeBody[T any](r *http.Request) ([]byte, *T, *Error) {
 	if err := dec.Decode(&req); err != nil {
 		return nil, nil, validationf("bad JSON body: %v", err)
 	}
-	if dec.More() {
+	// Demand a clean EOF after the document: a second Decode catches
+	// trailing values AND stray tokens (a bare '}') that More() lets
+	// through.
+	var extra any
+	if err := dec.Decode(&extra); err != io.EOF {
 		return nil, nil, validationf("trailing data after JSON body")
 	}
 	return raw, &req, nil
-}
-
-// readAll reads the body with a hard size cap.
-func readAll(r *http.Request, max int64) ([]byte, error) {
-	defer r.Body.Close()
-	lr := &limitedReader{r: r.Body, n: max}
-	var buf bytes.Buffer
-	if _, err := buf.ReadFrom(lr); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
-
-// limitedReader errors (rather than silently truncating) past n.
-type limitedReader struct {
-	r interface{ Read([]byte) (int, error) }
-	n int64
-}
-
-func (l *limitedReader) Read(p []byte) (int, error) {
-	if l.n <= 0 {
-		return 0, errors.New("body exceeds size limit")
-	}
-	if int64(len(p)) > l.n {
-		p = p[:l.n]
-	}
-	n, err := l.r.Read(p)
-	l.n -= int64(n)
-	return n, err
 }
 
 // benchByName resolves a benchmark against the server's stable set.
