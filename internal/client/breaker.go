@@ -167,6 +167,22 @@ func (b *breaker) success() {
 	}
 }
 
+// abort resolves an attempt that proved nothing about the server — a
+// request-build error or a caller cancellation. It releases a pending
+// half-open probe without recording a success or failure; leaving the
+// probe pending would fast-fail every future request forever.
+func (b *breaker) abort() {
+	if b.disabled() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.decisions++
+	if b.state == breakerHalf {
+		b.probing = false
+	}
+}
+
 // failure records a definitive attempt failure.
 func (b *breaker) failure() {
 	if b.disabled() {

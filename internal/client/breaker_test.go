@@ -155,3 +155,27 @@ func TestBreakerHalfOpenSingleProbe(t *testing.T) {
 		t.Fatalf("state=%s closes=%d after two probe successes", state, closes)
 	}
 }
+
+// An aborted probe (the attempt resolved nothing about the server)
+// releases the probe slot without counting a success or failure, so
+// the breaker can probe again instead of wedging half-open.
+func TestBreakerAbortReleasesProbe(t *testing.T) {
+	b := newBreaker(BreakerConfig{FailureThreshold: 1, ProbeAfter: 1}, 1)
+	b.failure() // closed -> open
+	if !b.allow() {
+		t.Fatalf("probe rejected")
+	}
+	b.abort()
+	if !b.allow() {
+		t.Fatalf("breaker wedged: no new probe allowed after an aborted one")
+	}
+	b.success()
+	if state, _, _, closes, _ := b.snapshot(); state != breakerClosed || closes != 1 {
+		t.Fatalf("state=%s closes=%d after the re-probe succeeded", state, closes)
+	}
+	// Outside half-open, abort is a no-op on state.
+	b.abort()
+	if state, _, _, _, _ := b.snapshot(); state != breakerClosed {
+		t.Fatalf("abort changed a closed breaker to %s", state)
+	}
+}

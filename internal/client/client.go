@@ -223,6 +223,7 @@ type attemptError struct {
 	err        error
 	retryable  bool
 	breakerHit bool // counts toward the breaker's failure streak
+	definitive bool // the server answered (any HTTP response arrived)
 	retryAfter time.Duration
 }
 
@@ -263,12 +264,21 @@ func (c *Client) Do(ctx context.Context, method, path string, body []byte, idemK
 			res.Attempts = attempts
 			return res, nil
 		}
+		// Every attempt outcome resolves the breaker exactly once: a
+		// half-open probe left unresolved would reject every future
+		// request forever.
 		if aerr.breakerHit {
 			c.brk.failure()
-		} else if aerr.retryable {
-			// A non-breaker failure (e.g. 429) still proves the server
-			// alive; reset the consecutive-failure streak.
+		} else if aerr.retryable || aerr.definitive {
+			// A non-breaker failure the server answered (429, any 4xx)
+			// still proves it alive; reset the consecutive-failure
+			// streak and let a pending probe count as successful.
 			c.brk.success()
+		} else {
+			// Nothing proven about the server (request-build error,
+			// caller cancellation): release a pending probe without
+			// counting a success or failure.
+			c.brk.abort()
 		}
 		last = aerr
 		if !aerr.retryable || try >= c.cfg.MaxRetries || ctx.Err() != nil {
@@ -419,8 +429,14 @@ func (c *Client) send(ctx context.Context, method, path string, body []byte, ide
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		// Transport-level failure: reset, refused, timeout, EOF. If
-		// the caller's context died this is terminal, otherwise retry.
+		// Transport-level failure: reset, refused, timeout, EOF. A
+		// canceled attempt context — a hedge winner already returned,
+		// or the caller gave up — is a cancellation artifact, not a
+		// network fault: it must not inflate NetErrors or touch the
+		// breaker.
+		if errors.Is(ctx.Err(), context.Canceled) {
+			return nil, &attemptError{err: err, retryable: false}
+		}
 		c.met.netErrors.Add(1)
 		retryable := ctx.Err() == nil || errors.Is(ctx.Err(), context.DeadlineExceeded)
 		return nil, &attemptError{err: err, retryable: retryable, breakerHit: retryable}
@@ -428,9 +444,15 @@ func (c *Client) send(ctx context.Context, method, path string, body []byte, ide
 	defer resp.Body.Close()
 	data, rerr := io.ReadAll(resp.Body)
 	if rerr != nil {
+		rerr = fmt.Errorf("client: reading response: %w", rerr)
+		// Same cancellation-artifact rule as above for a read cut short
+		// by a hedge winner or the caller.
+		if errors.Is(ctx.Err(), context.Canceled) {
+			return nil, &attemptError{err: rerr, retryable: false}
+		}
 		// Truncation, mid-body reset, or a corrupted chunk boundary.
 		c.met.netErrors.Add(1)
-		return nil, &attemptError{err: fmt.Errorf("client: reading response: %w", rerr), retryable: true, breakerHit: true}
+		return nil, &attemptError{err: rerr, retryable: true, breakerHit: true}
 	}
 	if resp.StatusCode >= 400 {
 		apiErr := decodeAPIError(resp, data)
@@ -438,16 +460,17 @@ func (c *Client) send(ctx context.Context, method, path string, body []byte, ide
 		case http.StatusTooManyRequests:
 			// Overload shedding: server alive, back off and retry.
 			c.met.httpRetry.Add(1)
-			return nil, &attemptError{err: apiErr, retryable: true, retryAfter: apiErr.RetryAfter}
+			return nil, &attemptError{err: apiErr, retryable: true, definitive: true, retryAfter: apiErr.RetryAfter}
 		case http.StatusInternalServerError, http.StatusBadGateway,
 			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
 			c.met.httpRetry.Add(1)
-			return nil, &attemptError{err: apiErr, retryable: true, breakerHit: true, retryAfter: apiErr.RetryAfter}
+			return nil, &attemptError{err: apiErr, retryable: true, breakerHit: true, definitive: true, retryAfter: apiErr.RetryAfter}
 		default:
 			// 400/404/409/413...: the request itself is wrong; the
 			// service answered definitively. Terminal, not a breaker
-			// failure.
-			return nil, &attemptError{err: apiErr, retryable: false}
+			// failure — but it does resolve a half-open probe (Do maps
+			// definitive to brk.success).
+			return nil, &attemptError{err: apiErr, retryable: false, definitive: true}
 		}
 	}
 	if !c.cfg.DisableDigestCheck {
@@ -456,7 +479,7 @@ func (c *Client) send(ctx context.Context, method, path string, body []byte, ide
 			got := "sha256=" + hex.EncodeToString(sum[:])
 			if got != want {
 				c.met.digestBad.Add(1)
-				return nil, &attemptError{err: &DigestError{Want: want, Got: got}, retryable: true, breakerHit: true}
+				return nil, &attemptError{err: &DigestError{Want: want, Got: got}, retryable: true, breakerHit: true, definitive: true}
 			}
 		}
 	}

@@ -252,6 +252,55 @@ func TestBreakerFastFailAfterExhaustion(t *testing.T) {
 	}
 }
 
+// A half-open probe answered with a terminal 4xx must resolve the
+// probe: the server is alive, so the breaker closes instead of
+// rejecting every future request forever.
+func TestHalfOpenProbeResolvedByTerminal4xx(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch hits.Add(1) {
+		case 1:
+			writeEnvelope(w, 500, "internal", "down")
+		case 2:
+			writeEnvelope(w, 404, "not_found", "no such route")
+		default:
+			fmt.Fprint(w, "ok")
+		}
+	}))
+	defer srv.Close()
+
+	c, _ := newTestClient(srv.URL, Config{
+		Seed:       1,
+		MaxRetries: -1,
+		Breaker:    BreakerConfig{FailureThreshold: 1, ProbeAfter: 1},
+	})
+	ctx := context.Background()
+	// Request 1: 500 -> the breaker opens.
+	if _, err := c.Do(ctx, http.MethodGet, "/", nil, ""); err == nil {
+		t.Fatal("want a failure from the 500")
+	}
+	// Request 2 is the half-open probe; the 404 is terminal but proves
+	// the server alive.
+	_, err := c.Do(ctx, http.MethodGet, "/", nil, "")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Fatalf("probe err = %v, want the 404 *APIError", err)
+	}
+	// Request 3: must go through — a wedged probe would fast-fail here
+	// and on every request after.
+	res, err := c.Do(ctx, http.MethodGet, "/", nil, "")
+	if err != nil {
+		t.Fatalf("request after 4xx-resolved probe: %v", err)
+	}
+	if string(res.Body) != "ok" {
+		t.Fatalf("body = %q, want ok", res.Body)
+	}
+	m := c.Metrics()
+	if m.BreakerState != "closed" || m.BreakerFastFails != 0 {
+		t.Fatalf("breaker wedged after a 4xx probe: %+v", m)
+	}
+}
+
 func TestTransportErrorRetriedAndCounted(t *testing.T) {
 	// A listener that closed: connection refused on every attempt.
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
@@ -323,6 +372,10 @@ func TestHedgeWinsAgainstSlowPrimary(t *testing.T) {
 	}
 	if m.Attempts != 2 || m.Retries != 0 {
 		t.Fatalf("a hedge is not a retry: %+v", m)
+	}
+	// The canceled loser is a hedging artifact, not a network fault.
+	if m.NetErrors != 0 {
+		t.Fatalf("net_errors = %d after a hedge win, want 0", m.NetErrors)
 	}
 }
 

@@ -281,6 +281,76 @@ func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
 }
 
+// An upstream that dribbles the response one byte at a time must not
+// defeat the header-end scan: the CRLFCRLF terminator spans many tiny
+// reads, and body-relative faults still have to land.
+func TestHeaderSplitAcrossTinyReadsStillCorrupts(t *testing.T) {
+	body := strings.Repeat("b", 256)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, aerr := ln.Accept()
+			if aerr != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 4096)
+				c.Read(buf) // request head; one read is enough for a GET
+				head := fmt.Sprintf("HTTP/1.0 200 OK\r\nContent-Length: %d\r\n\r\n", len(body))
+				for i := 0; i < len(head); i++ {
+					if _, werr := c.Write([]byte{head[i]}); werr != nil {
+						return
+					}
+					// Give the proxy time to Read each byte separately so
+					// the terminator really is split across chunks.
+					time.Sleep(time.Millisecond)
+				}
+				c.Write([]byte(body))
+			}(conn)
+		}
+	}()
+
+	p, err := New(ln.Addr().String(), 7, Config{CorruptAt: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := p.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	resp, err := client(10 * time.Second).Get("http://" + addr.String())
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	got, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		t.Fatalf("read: %v", rerr)
+	}
+	if len(got) != len(body) {
+		t.Fatalf("body length %d, want %d", len(got), len(body))
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != body[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corrupted %d body bytes, want exactly 1 (header-end never found?)", diff)
+	}
+	if p.Counters().Corrupts != 1 {
+		t.Fatalf("corrupts = %d, want 1", p.Counters().Corrupts)
+	}
+}
+
 func TestUpstreamDownClosesConnection(t *testing.T) {
 	// Point at a port nothing listens on: the proxy accepts, fails to
 	// dial, and closes the client connection instead of hanging.

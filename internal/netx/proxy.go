@@ -301,7 +301,12 @@ func (p *Proxy) pumpResponse(client, upstream net.Conn, pl connPlan) {
 					inBody = true
 					start = off
 				} else {
-					tailLen = copy(tail[:], lastN(chunk, 3))
+					// Carry the last 3 bytes of tail+chunk combined: a
+					// chunk shorter than the terminator must not drop
+					// previously carried bytes, or a CRLFCRLF split
+					// across tiny reads is never detected.
+					joined := append(tail[:tailLen:tailLen], chunk...)
+					tailLen = copy(tail[:], lastN(joined, 3))
 				}
 			}
 			if inBody {

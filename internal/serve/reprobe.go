@@ -30,6 +30,7 @@ const streamReprobe = 0x7265700a00000001
 // fleet of servers sharing storage does not re-probe in lockstep,
 // while any single server's schedule stays deterministic).
 func (s *Server) reprobeLoop() {
+	defer s.reprobeWG.Done()
 	for k := uint64(0); ; k++ {
 		wait := s.cfg.JournalReprobe
 		wait += time.Duration(faults.Uniform(int64(s.cfg.JournalReprobe), streamReprobe, k) * float64(wait) / 4)
@@ -39,6 +40,14 @@ func (s *Server) reprobeLoop() {
 			t.Stop()
 			return
 		case <-t.C:
+		}
+		// The select above picks randomly when both channels are ready:
+		// re-check stop so no recovery swaps the journal once drain has
+		// begun (BeginDrain waits for this loop before Drain finalizes).
+		select {
+		case <-s.reprobeStop:
+			return
+		default:
 		}
 		if deg, _ := s.Degraded(); deg {
 			if err := s.reprobe(); err != nil {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"net/http"
 	"strings"
 	"testing"
@@ -117,4 +118,24 @@ func TestReprobeLoopAutoRecovers(t *testing.T) {
 	}
 	s.BeginDrain() // closes the loop's stop channel; must not panic or hang
 	s.BeginDrain() // idempotent
+}
+
+// Drain must not race the reprobe loop: BeginDrain waits the loop out,
+// so the journal handle Drain finalizes is the final one — never a
+// handle the loop closed moments before swapping in a fresh one.
+func TestDrainWaitsForReprobeLoop(t *testing.T) {
+	fa := fsx.NewFaulty(24).FailWrites(1, errInjectedIO)
+	s := newDegradableServer(t, fa, func(c *Config) {
+		c.JournalReprobe = time.Millisecond
+	})
+	degrade(t, s)
+	fa.FailWrites(0, nil)
+
+	// Drain while the loop is probing hot; whichever side of a recovery
+	// the drain lands on, the finalize must target a live handle.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain racing the reprobe loop: %v", err)
+	}
 }

@@ -162,8 +162,11 @@ type Server struct {
 	// JournalPath is configured.
 	journalMu sync.RWMutex
 	journal   *journal.Journal
-	// reprobeStop ends the auto-recovery loop; closed by BeginDrain.
+	// reprobeStop ends the auto-recovery loop; closed by BeginDrain,
+	// which then waits on reprobeWG so no journal swap can race
+	// Drain's finalize of the handle it read.
 	reprobeStop chan struct{}
+	reprobeWG   sync.WaitGroup
 
 	// mu orders the drain flag against in-flight registration: a
 	// handler holds the read side while it checks draining and joins
@@ -225,6 +228,7 @@ func New(cfg Config) (*Server, error) {
 		s.journal = j
 		if cfg.JournalReprobe > 0 {
 			s.reprobeStop = make(chan struct{})
+			s.reprobeWG.Add(1)
 			go s.reprobeLoop()
 		}
 	}
@@ -325,7 +329,12 @@ func (s *Server) BeginDrain() {
 		return
 	}
 	if s.reprobeStop != nil {
+		// Wait the loop out: a reprobe already past its stop check could
+		// otherwise swap in a fresh journal after Drain has read the
+		// handle it is about to finalize, leaking the new handle and
+		// finalizing a closed one.
 		close(s.reprobeStop)
+		s.reprobeWG.Wait()
 	}
 	s.coll.CountServeDrain()
 	s.event.Emit(events.Event{Kind: events.KindServe, Disk: -1, Detail: "drain_begin"})
@@ -351,12 +360,25 @@ func (s *Server) Drain(ctx context.Context) error {
 		waitErr = fmt.Errorf("serve: drain deadline expired with requests still in flight: %w", ctx.Err())
 	}
 	if j := s.jrnl(); j != nil {
-		if waitErr == nil {
+		deg, _ := s.Degraded()
+		switch {
+		case waitErr != nil:
+			if err := j.Close(); err != nil {
+				slog.Warn("journal close failed", "err", err)
+			}
+		case deg:
+			// Degraded: the handle may already be closed (a failed
+			// reprobe releases it before reopening) or the filesystem
+			// still broken. Finalize is best-effort — the durability
+			// loss is already surfaced through degraded mode, so its
+			// failure must not turn a clean drain into an error.
+			if err := j.Finalize(); err != nil {
+				slog.Warn("journal finalize skipped in degraded mode", "err", err)
+			}
+		default:
 			if err := j.Finalize(); err != nil {
 				waitErr = fmt.Errorf("serve: journal finalize: %w", err)
 			}
-		} else if err := j.Close(); err != nil {
-			slog.Warn("journal close failed", "err", err)
 		}
 	}
 	s.event.Emit(events.Event{Kind: events.KindServe, Disk: -1, Detail: "drain_done"})
